@@ -1,0 +1,183 @@
+// Command paper regenerates the tables and figures of the WL-Reviver
+// paper's evaluation (DSN 2014) at a configurable scale.
+//
+// Usage:
+//
+//	paper [-scale tiny|bench|paper] [-exp all|table1|fig5|fig6|fig7|fig8|table2] [-seed N]
+//
+// Output is the textual form of each table/figure; EXPERIMENTS.md records
+// a reference run against the paper's reported results.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wlreviver"
+	"wlreviver/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scaleName := flag.String("scale", "bench", "experiment scale: tiny, bench or paper")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, fig8, table2 or attacks")
+	seed := flag.Uint64("seed", 0, "override the scale's RNG seed (0 keeps the default)")
+	csvDir := flag.String("csv", "", "also write the curve figures as CSV files into this directory")
+	flag.Parse()
+
+	var scale wlreviver.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = wlreviver.TinyScale()
+	case "bench":
+		scale = wlreviver.BenchScale()
+	case "paper":
+		scale = wlreviver.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+	fmt.Printf("# scale=%s blocks=%d page=%d blocks endurance=%.0f psi=%d seed=%d\n\n",
+		*scaleName, scale.Blocks, scale.BlocksPerPage, scale.MeanEndurance,
+		scale.GapWritePeriod, scale.Seed)
+
+	type experiment struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	experiments := []experiment{
+		{"table1", func() (fmt.Stringer, error) { return wlreviver.Table1(scale) }},
+		{"fig5", func() (fmt.Stringer, error) { return wlreviver.Fig5(scale) }},
+		{"fig6", func() (fmt.Stringer, error) { return both(scale, wlreviver.Fig6) }},
+		{"fig7", func() (fmt.Stringer, error) { return both(scale, wlreviver.Fig7) }},
+		{"fig8", func() (fmt.Stringer, error) { return both(scale, wlreviver.Fig8) }},
+		{"table2", func() (fmt.Stringer, error) {
+			return wlreviver.Table2(scale, []string{"mg", "ocean"})
+		}},
+		{"attacks", func() (fmt.Stringer, error) { return wlreviver.Attacks(scale) }},
+	}
+
+	matched := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(res)
+		fmt.Printf("(%s took %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.name, res); err != nil {
+				return fmt.Errorf("%s: writing csv: %w", e.name, err)
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+// curveSet is implemented by results that carry plottable curves.
+type curveSet interface {
+	CurveData() (workload string, curves []stats.Curve)
+}
+
+// writeCSV dumps any curves a result carries as <dir>/<exp>[-workload].csv.
+func writeCSV(dir, exp string, res fmt.Stringer) error {
+	var sets []curveSet
+	switch r := res.(type) {
+	case pair:
+		for _, half := range []fmt.Stringer{r.ocean, r.mg} {
+			if cs, ok := half.(curveSet); ok {
+				sets = append(sets, cs)
+			}
+		}
+	case curveSet:
+		sets = append(sets, r)
+	default:
+		return nil // tabular results have no curves
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, cs := range sets {
+		workload, curves := cs.CurveData()
+		name := exp
+		if workload != "" {
+			name += "-" + workload
+		}
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		fmt.Fprint(w, "writes_per_block")
+		maxX := 0.0
+		for _, c := range curves {
+			fmt.Fprintf(w, ",%s", strings.ReplaceAll(c.Name, ",", ";"))
+			if n := len(c.Points); n > 0 && c.Points[n-1].X > maxX {
+				maxX = c.Points[n-1].X
+			}
+		}
+		fmt.Fprintln(w)
+		// Curves sample on their own grids (a run ends at its floor), so
+		// resample everything onto a common 256-point grid.
+		const gridPoints = 256
+		for i := 0; i <= gridPoints; i++ {
+			x := maxX * float64(i) / gridPoints
+			fmt.Fprintf(w, "%g", x)
+			for _, c := range curves {
+				fmt.Fprintf(w, ",%g", c.YAt(x))
+			}
+			fmt.Fprintln(w)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pair formats the ocean and mg variants of a per-workload figure.
+type pair struct {
+	ocean fmt.Stringer
+	mg    fmt.Stringer
+}
+
+// String renders both workloads.
+func (p pair) String() string { return p.ocean.String() + "\n" + p.mg.String() }
+
+// both runs a per-workload figure for ocean and mg.
+func both[T fmt.Stringer](scale wlreviver.Scale, f func(wlreviver.Scale, string) (T, error)) (fmt.Stringer, error) {
+	ocean, err := f(scale, "ocean")
+	if err != nil {
+		return nil, err
+	}
+	mg, err := f(scale, "mg")
+	if err != nil {
+		return nil, err
+	}
+	return pair{ocean: ocean, mg: mg}, nil
+}

@@ -1,0 +1,114 @@
+// Command tracegen generates synthetic write traces to files in the
+// repository's binary trace format, and inspects existing trace files.
+//
+// Generate:
+//
+//	tracegen -out mg.trace -workload mg -blocks 65536 -writes 10000000
+//
+// Inspect:
+//
+//	tracegen -inspect mg.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wlreviver"
+	"wlreviver/internal/stats"
+	"wlreviver/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out      = flag.String("out", "", "output trace file")
+		inspect  = flag.String("inspect", "", "trace file to inspect instead of generating")
+		workload = flag.String("workload", "uniform", "workload: uniform, a Table I benchmark name, or cov:<x>")
+		blocks   = flag.Uint64("blocks", 1<<16, "block address space size")
+		pageBlk  = flag.Uint64("page-blocks", 64, "page size in blocks (weight correlation)")
+		writes   = flag.Uint64("writes", 1_000_000, "number of writes to record")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		return inspectFile(*inspect)
+	}
+	if *out == "" {
+		return fmt.Errorf("either -out or -inspect is required")
+	}
+
+	var gen wlreviver.Workload
+	var err error
+	switch {
+	case *workload == "uniform":
+		gen, err = wlreviver.NewUniformWorkload(*blocks, *seed)
+	case len(*workload) > 4 && (*workload)[:4] == "cov:":
+		var cov float64
+		if _, err := fmt.Sscanf((*workload)[4:], "%f", &cov); err != nil {
+			return fmt.Errorf("bad cov spec %q: %w", *workload, err)
+		}
+		gen, err = wlreviver.NewSkewedWorkload(*blocks, *pageBlk, cov, *seed)
+	default:
+		gen, err = wlreviver.NewBenchmarkWorkload(*workload, *blocks, *pageBlk, *seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteTrace(f, gen, *writes); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d writes of %q over %d blocks to %s\n", *writes, gen.Name(), *blocks, *out)
+	return nil
+}
+
+// inspectFile prints a trace file's header and write-distribution stats.
+func inspectFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.ReadTrace(f, path)
+	if err != nil {
+		return err
+	}
+	counts := make([]uint64, r.NumBlocks())
+	for i := 0; i < r.Len(); i++ {
+		counts[r.Next()]++
+	}
+	touched := 0
+	var maxCount uint64
+	for _, c := range counts {
+		if c > 0 {
+			touched++
+		}
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	fmt.Printf("file:          %s\n", path)
+	fmt.Printf("blocks:        %d\n", r.NumBlocks())
+	fmt.Printf("writes:        %d\n", r.Len())
+	fmt.Printf("touched:       %d (%.1f%%)\n", touched, 100*float64(touched)/float64(r.NumBlocks()))
+	fmt.Printf("write CoV:     %.2f\n", stats.CoVOfCounts(counts))
+	fmt.Printf("hottest block: %d writes\n", maxCount)
+	return nil
+}

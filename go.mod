@@ -1,0 +1,3 @@
+module wlreviver
+
+go 1.22

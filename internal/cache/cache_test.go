@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizedConfig(t *testing.T) {
+	cfg, err := SizedConfig(32*1024, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sets*cfg.Ways != 4096 {
+		t.Errorf("32KB/8B should hold 4096 entries, got %d", cfg.Sets*cfg.Ways)
+	}
+	if cfg.Sets&(cfg.Sets-1) != 0 {
+		t.Errorf("sets %d not a power of two", cfg.Sets)
+	}
+	for _, bad := range [][3]int{{0, 8, 8}, {32, 0, 8}, {32, 8, 0}, {8, 8, 8}} {
+		if _, err := SizedConfig(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("SizedConfig%v accepted", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []Config{{Sets: 0, Ways: 1}, {Sets: 3, Ways: 1}, {Sets: 4, Ways: 0}} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestHitAfterInsert(t *testing.T) {
+	c, _ := New(Config{Sets: 4, Ways: 2})
+	if c.Lookup(42) {
+		t.Fatal("first lookup should miss")
+	}
+	if !c.Lookup(42) {
+		t.Fatal("second lookup should hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestHitRateEmpty(t *testing.T) {
+	c, _ := New(Config{Sets: 2, Ways: 1})
+	if c.HitRate() != 0 {
+		t.Error("empty cache hit rate should be 0")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Single set, 2 ways: fill with a,b; touch a; insert c -> b evicted.
+	c, _ := New(Config{Sets: 1, Ways: 2})
+	c.Lookup(1)
+	c.Lookup(2)
+	c.Lookup(1) // 1 is now MRU
+	c.Lookup(3) // evicts 2
+	if !c.Contains(1) {
+		t.Error("1 should survive (MRU)")
+	}
+	if c.Contains(2) {
+		t.Error("2 should be evicted (LRU)")
+	}
+	if !c.Contains(3) {
+		t.Error("3 should be present")
+	}
+}
+
+func TestContainsDoesNotInsert(t *testing.T) {
+	c, _ := New(Config{Sets: 2, Ways: 1})
+	if c.Contains(9) {
+		t.Fatal("empty cache contains nothing")
+	}
+	if c.Contains(9) {
+		t.Fatal("Contains must not insert")
+	}
+	if c.Hits() != 0 && c.Misses() != 0 {
+		t.Error("Contains must not touch stats")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c, _ := New(Config{Sets: 2, Ways: 2})
+	c.Lookup(5)
+	c.Invalidate(5)
+	if c.Contains(5) {
+		t.Error("invalidated key still present")
+	}
+	c.Invalidate(99) // absent key: no-op, no panic
+}
+
+func TestWorkingSetFitsPerfectly(t *testing.T) {
+	c, _ := New(Config{Sets: 64, Ways: 4})
+	// Working set of 64 keys into 256 entries: after warmup, all hits.
+	for round := 0; round < 10; round++ {
+		for k := uint64(0); k < 64; k++ {
+			c.Lookup(k)
+		}
+	}
+	if got := c.HitRate(); got < 0.85 {
+		t.Errorf("hit rate %v too low for resident working set", got)
+	}
+}
+
+func TestEntries(t *testing.T) {
+	c, _ := New(Config{Sets: 8, Ways: 4})
+	if c.Entries() != 32 {
+		t.Errorf("entries = %d", c.Entries())
+	}
+}
+
+// Property: a key just looked up is always present immediately after.
+func TestQuickLookupThenContains(t *testing.T) {
+	c, _ := New(Config{Sets: 16, Ways: 4})
+	prop := func(key uint64) bool {
+		c.Lookup(key)
+		return c.Contains(key)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hits+misses equals total lookups.
+func TestQuickStatsBalance(t *testing.T) {
+	prop := func(keys []uint64) bool {
+		c, err := New(Config{Sets: 4, Ways: 2})
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			c.Lookup(k)
+		}
+		return c.Hits()+c.Misses() == uint64(len(keys))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package drm
+
+import (
+	"testing"
+
+	"wlreviver/internal/ecc"
+	"wlreviver/internal/mc"
+	"wlreviver/internal/osmodel"
+	"wlreviver/internal/pcm"
+	"wlreviver/internal/trace"
+	"wlreviver/internal/wear"
+)
+
+type stack struct {
+	dev *pcm.Device
+	be  *mc.Backend
+	lv  *wear.StartGap
+	os  *osmodel.Model
+	d   *DRM
+}
+
+func newStack(t *testing.T, blocks uint64, endurance float64, fraction float64) *stack {
+	t.Helper()
+	lv, err := wear.NewStartGap(wear.StartGapConfig{NumPAs: blocks, GapWritePeriod: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reserved := ReservedBlocks(blocks, fraction, 16)
+	dev, err := pcm.NewDevice(pcm.Config{
+		NumBlocks: blocks + 1 + reserved + 16, BlockBytes: 64, CellsPerBlock: 512,
+		MeanEndurance: endurance, LifetimeCoV: 0.2, Seed: 4, TrackContent: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := ecc.NewECP(6, dev.NumBlocks())
+	osm, err := osmodel.New(blocks, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &mc.Backend{Dev: dev, ECC: e}
+	d, err := New(Config{ReserveFraction: fraction}, lv, be, osm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &stack{dev: dev, be: be, lv: lv, os: osm, d: d}
+}
+
+func (s *stack) drive(t *testing.T, g trace.Generator, n int) {
+	t.Helper()
+	for i := 0; i < n && !s.d.Crippled(); i++ {
+		pa, ok := s.os.Translate(g.Next())
+		if !ok {
+			break
+		}
+		s.d.Write(pa, uint64(i))
+		if !s.d.Crippled() {
+			s.lv.NoteWrite(pa, s.d)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := newStack(t, 64, 1e9, 0.10)
+	if _, err := New(Config{ReserveFraction: -0.1}, s.lv, s.be, s.os); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := New(Config{ReserveFraction: 0.99}, s.lv, s.be, s.os); err == nil {
+		t.Error("oversized reserve accepted")
+	}
+}
+
+func TestReservedBlocksPageAligned(t *testing.T) {
+	if got := ReservedBlocks(1000, 0, 16); got != 0 {
+		t.Errorf("zero fraction reserved %d", got)
+	}
+	got := ReservedBlocks(1000, 0.10, 16)
+	if got%16 != 0 {
+		t.Errorf("reserve %d not page aligned", got)
+	}
+	if got < 96 || got > 112 {
+		t.Errorf("reserve %d implausible for 10%% of 1000", got)
+	}
+}
+
+func TestHealthyPath(t *testing.T) {
+	s := newStack(t, 64, 1e9, 0.10)
+	res := s.d.Write(5, 55)
+	if res.Accesses != 1 || res.Retry {
+		t.Errorf("healthy write: %+v", res)
+	}
+	tag, acc := s.d.Read(5)
+	if tag != 55 || acc != 1 {
+		t.Errorf("read = (%d,%d)", tag, acc)
+	}
+	if s.d.Name() != "DRM(10%)" {
+		t.Errorf("name = %q", s.d.Name())
+	}
+	if s.d.ResumePending() != 0 {
+		t.Error("nothing pends")
+	}
+	want := 64.0 / float64(64+ReservedBlocks(64, 0.10, 16))
+	if got := s.d.SoftwareUsableFraction(); got < want-0.001 || got > want+0.001 {
+		t.Errorf("usable = %v, want %v", got, want)
+	}
+}
+
+func TestFailurePairsPage(t *testing.T) {
+	s := newStack(t, 128, 300, 0.25)
+	g, _ := trace.NewUniform(128, 6)
+	s.drive(t, g, 400_000)
+	st := s.d.Stats()
+	if st.PagesPaired == 0 {
+		t.Fatal("wear-out never paired a page")
+	}
+	if s.dev.DeadBlocks() == 0 {
+		t.Fatal("no failures at 300 endurance")
+	}
+}
+
+func TestDataIntegrityAcrossMigrations(t *testing.T) {
+	s := newStack(t, 128, 350, 0.25)
+	g, _ := trace.NewUniform(128, 7)
+	last := make(map[uint64]uint64)
+	for i := 0; i < 400_000 && !s.d.Crippled(); i++ {
+		pa, ok := s.os.Translate(g.Next())
+		if !ok {
+			break
+		}
+		s.d.Write(pa, uint64(i))
+		last[pa] = uint64(i)
+		if !s.d.Crippled() {
+			s.lv.NoteWrite(pa, s.d)
+		}
+		if i%10_000 == 0 {
+			for p, want := range last {
+				if got, _ := s.d.Read(p); got != want {
+					t.Fatalf("PA %d reads %d, want %d (iteration %d)", p, got, want, i)
+				}
+			}
+		}
+	}
+	if s.d.Stats().PagesPaired == 0 {
+		t.Skip("no pairing exercised")
+	}
+}
+
+func TestExhaustionExposes(t *testing.T) {
+	s := newStack(t, 64, 120, 0.10)
+	g, _ := trace.NewUniform(64, 8)
+	s.drive(t, g, 3_000_000)
+	if !s.d.Crippled() {
+		t.Fatal("DRM survived unbounded wear-out")
+	}
+	if s.d.Stats().LostWrites == 0 {
+		t.Error("exposure should lose writes")
+	}
+}
+
+// A partner frame whose block dies at a paired offset triggers repairing
+// to a new compatible frame.
+func TestRepairingOnPartnerFailure(t *testing.T) {
+	s := newStack(t, 128, 200, 0.40)
+	g, _ := trace.NewHammer(128, []uint64{1, 2, 3, 4})
+	s.drive(t, g, 2_000_000)
+	st := s.d.Stats()
+	if st.PagesPaired == 0 {
+		t.Skip("no pairing")
+	}
+	if st.Repairings == 0 {
+		t.Log("note: no partner-side failure occurred in this run")
+	}
+}

@@ -1,0 +1,333 @@
+package freep
+
+import (
+	"testing"
+
+	"wlreviver/internal/ecc"
+	"wlreviver/internal/mc"
+	"wlreviver/internal/osmodel"
+	"wlreviver/internal/pcm"
+	"wlreviver/internal/trace"
+	"wlreviver/internal/wear"
+)
+
+type stack struct {
+	dev *pcm.Device
+	be  *mc.Backend
+	lv  *wear.StartGap
+	os  *osmodel.Model
+	fp  *FREEp
+}
+
+func newStack(t *testing.T, blocks uint64, endurance float64, fraction float64) *stack {
+	t.Helper()
+	lv, err := wear.NewStartGap(wear.StartGapConfig{NumPAs: blocks, GapWritePeriod: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reserved := ReservedSlots(blocks, fraction)
+	dev, err := pcm.NewDevice(pcm.Config{
+		NumBlocks: blocks + 1 + reserved, BlockBytes: 64, CellsPerBlock: 512,
+		MeanEndurance: endurance, LifetimeCoV: 0.2, Seed: 2, TrackContent: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := ecc.NewECP(6, dev.NumBlocks())
+	osm, err := osmodel.New(blocks, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &mc.Backend{Dev: dev, ECC: e}
+	fp, err := New(Config{ReserveFraction: fraction}, lv, be, osm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &stack{dev: dev, be: be, lv: lv, os: osm, fp: fp}
+}
+
+func (s *stack) drive(t *testing.T, g trace.Generator, n int) int {
+	t.Helper()
+	performed := 0
+	for i := 0; i < n; i++ {
+		v := g.Next()
+		pa, ok := s.os.Translate(v)
+		if !ok {
+			break
+		}
+		res := s.fp.Write(pa, uint64(i))
+		if res.Retry {
+			if pa2, ok2 := s.os.Translate(v); ok2 {
+				s.fp.Write(pa2, uint64(i))
+			}
+		}
+		performed++
+		if !s.fp.Crippled() {
+			s.lv.NoteWrite(pa, s.fp)
+		}
+	}
+	return performed
+}
+
+func TestReservedSlots(t *testing.T) {
+	if ReservedSlots(1000, 0) != 0 {
+		t.Error("zero fraction should reserve nothing")
+	}
+	// 5% of combined capacity: r = 1000*0.05/0.95 ~ 52.
+	if got := ReservedSlots(1000, 0.05); got < 50 || got > 55 {
+		t.Errorf("ReservedSlots(1000, 0.05) = %d", got)
+	}
+	// Check the fraction holds: r/(1000+r) ~ 0.05.
+	r := float64(ReservedSlots(100000, 0.15))
+	if frac := r / (100000 + r); frac < 0.149 || frac > 0.151 {
+		t.Errorf("reserve fraction realised %v, want 0.15", frac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := newStack(t, 64, 1e9, 0.05)
+	if _, err := New(Config{ReserveFraction: -0.1}, s.lv, s.be, s.os); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := New(Config{ReserveFraction: 1.0}, s.lv, s.be, s.os); err == nil {
+		t.Error("fraction 1.0 accepted")
+	}
+	// Device too small for the requested reserve.
+	if _, err := New(Config{ReserveFraction: 0.5}, s.lv, s.be, s.os); err == nil {
+		t.Error("oversized reserve accepted on a small device")
+	}
+}
+
+func TestHealthyWritesPassThrough(t *testing.T) {
+	s := newStack(t, 64, 1e9, 0.05)
+	res := s.fp.Write(3, 99)
+	if res.Retry || res.Accesses != 1 {
+		t.Errorf("healthy write: %+v", res)
+	}
+	tag, acc := s.fp.Read(3)
+	if tag != 99 || acc != 1 {
+		t.Errorf("read = (%d, %d)", tag, acc)
+	}
+	if s.fp.Name() != "FREE-p(5%)" {
+		t.Errorf("name = %q", s.fp.Name())
+	}
+}
+
+func TestFailureUsesSlot(t *testing.T) {
+	s := newStack(t, 64, 300, 0.10)
+	g, _ := trace.NewUniform(64, 7)
+	s.drive(t, g, 300_000)
+	st := s.fp.Stats()
+	if st.SlotsUsed == 0 {
+		t.Fatal("no slot was ever used despite wear-out")
+	}
+	if s.fp.FreeSlots()+int(st.SlotsUsed) != int(ReservedSlots(64, 0.10)) {
+		t.Errorf("slot accounting broken: free %d + used %d != %d",
+			s.fp.FreeSlots(), st.SlotsUsed, ReservedSlots(64, 0.10))
+	}
+}
+
+// A remapped block must read back its data, including across migrations
+// (the adapted scheme's whole point).
+func TestDataIntegrityAcrossMigrations(t *testing.T) {
+	s := newStack(t, 64, 400, 0.15)
+	g, _ := trace.NewUniform(64, 8)
+	last := make(map[uint64]uint64) // pa -> tag
+	for i := 0; i < 300_000; i++ {
+		v := g.Next()
+		pa, ok := s.os.Translate(v)
+		if !ok || s.fp.Crippled() {
+			break
+		}
+		res := s.fp.Write(pa, uint64(i))
+		if res.Retry {
+			break // slots exhausted; integrity only guaranteed before
+		}
+		last[pa] = uint64(i)
+		s.lv.NoteWrite(pa, s.fp)
+		if i%10_000 == 0 {
+			for p, want := range last {
+				if s.os.Retired(p) {
+					delete(last, p)
+					continue
+				}
+				if got, _ := s.fp.Read(p); got != want {
+					t.Fatalf("PA %d reads %d, want %d (iteration %d)", p, got, want, i)
+				}
+			}
+		}
+	}
+}
+
+// Exhausting the pre-reserved slots must expose the failure and cripple
+// wear leveling — the cliff in Figure 7.
+func TestExhaustionCripples(t *testing.T) {
+	s := newStack(t, 64, 150, 0.05)
+	g, _ := trace.NewUniform(64, 9)
+	s.drive(t, g, 2_000_000)
+	if !s.fp.Crippled() {
+		t.Fatal("FREE-p never exposed a failure at 150 endurance with 5% reserve")
+	}
+	if s.fp.FreeSlots() != 0 {
+		t.Errorf("crippled with %d slots still free", s.fp.FreeSlots())
+	}
+	if s.fp.Stats().LostWrites == 0 {
+		t.Error("exposure should lose writes")
+	}
+}
+
+func TestZeroReserveCripplesOnFirstFailure(t *testing.T) {
+	s := newStack(t, 64, 200, 0)
+	g, _ := trace.NewUniform(64, 10)
+	s.drive(t, g, 2_000_000)
+	if !s.fp.Crippled() {
+		t.Fatal("0% reserve should cripple at the first failure")
+	}
+	if s.fp.Stats().SlotsUsed != 0 {
+		t.Error("no slots exist to use")
+	}
+}
+
+func TestUsableFraction(t *testing.T) {
+	s := newStack(t, 64, 1e9, 0.10)
+	got := s.fp.SoftwareUsableFraction()
+	want := 64.0 / float64(64+ReservedSlots(64, 0.10))
+	if got < want-0.001 || got > want+0.001 {
+		t.Errorf("usable = %v, want %v", got, want)
+	}
+}
+
+func TestLargerReserveSurvivesLonger(t *testing.T) {
+	writesUntilCrippled := func(fraction float64) int {
+		s := newStack(t, 128, 250, fraction)
+		g, _ := trace.NewUniform(128, 11)
+		n := 0
+		for i := 0; i < 3_000_000 && !s.fp.Crippled(); i++ {
+			v := g.Next()
+			pa, ok := s.os.Translate(v)
+			if !ok {
+				break
+			}
+			s.fp.Write(pa, uint64(i))
+			if !s.fp.Crippled() {
+				s.lv.NoteWrite(pa, s.fp)
+			}
+			n++
+		}
+		return n
+	}
+	small := writesUntilCrippled(0.02)
+	large := writesUntilCrippled(0.15)
+	if large <= small {
+		t.Errorf("15%% reserve crippled after %d writes, 2%% after %d; larger reserve should last longer under uniform load",
+			large, small)
+	}
+}
+
+func newZombieStack(t *testing.T, blocks uint64, endurance float64, fraction float64) *stack {
+	t.Helper()
+	lv, err := wear.NewStartGap(wear.StartGapConfig{NumPAs: blocks, GapWritePeriod: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reserved := ReservedSlots(blocks, fraction)
+	dev, err := pcm.NewDevice(pcm.Config{
+		NumBlocks: blocks + 1 + reserved, BlockBytes: 64, CellsPerBlock: 512,
+		MeanEndurance: endurance, LifetimeCoV: 0.2, Seed: 2, TrackContent: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := ecc.NewECP(6, dev.NumBlocks())
+	osm, err := osmodel.New(blocks, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &mc.Backend{Dev: dev, ECC: e}
+	fp, err := New(Config{ReserveFraction: fraction, ZombiePairing: true}, lv, be, osm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &stack{dev: dev, be: be, lv: lv, os: osm, fp: fp}
+}
+
+func TestZombieName(t *testing.T) {
+	s := newZombieStack(t, 64, 1e9, 0.05)
+	if s.fp.Name() != "Zombie(5%)" {
+		t.Errorf("name = %q", s.fp.Name())
+	}
+}
+
+// Zombie's pair coding keeps a worn spare serviceable, so under traffic
+// that hammers remapped blocks it consumes fewer slots than plain FREE-p
+// and survives at least as long.
+func TestZombiePairingSavesSlots(t *testing.T) {
+	run := func(zombie bool) (Stats, int) {
+		var s *stack
+		if zombie {
+			s = newZombieStack(t, 128, 150, 0.15)
+		} else {
+			s = newStack(t, 128, 150, 0.15)
+		}
+		// Hammer two addresses so their blocks — and then their spare
+		// slots — wear out repeatedly.
+		g, err := trace.NewHammer(128, []uint64{3, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := 0; i < 2_000_000 && !s.fp.Crippled(); i++ {
+			pa, ok := s.os.Translate(g.Next())
+			if !ok {
+				break
+			}
+			s.fp.Write(pa, uint64(i))
+			if !s.fp.Crippled() {
+				s.lv.NoteWrite(pa, s.fp)
+			}
+			n++
+		}
+		return s.fp.Stats(), n
+	}
+	plainStats, plainWrites := run(false)
+	zombieStats, zombieWrites := run(true)
+	if zombieStats.PairRevivals == 0 {
+		t.Fatal("pair coding never engaged; the workload should wear spares out")
+	}
+	if zombieWrites < plainWrites {
+		t.Errorf("Zombie crippled after %d writes, plain FREE-p after %d; pairing should not hurt",
+			zombieWrites, plainWrites)
+	}
+	t.Logf("plain: %d writes, %d slots; zombie: %d writes, %d slots, %d revivals",
+		plainWrites, plainStats.SlotsUsed, zombieWrites, zombieStats.SlotsUsed, zombieStats.PairRevivals)
+}
+
+// Data behind a pair-revived spare stays readable.
+func TestZombiePairDataIntegrity(t *testing.T) {
+	s := newZombieStack(t, 64, 300, 0.15)
+	g, _ := trace.NewUniform(64, 33)
+	last := make(map[uint64]uint64)
+	for i := 0; i < 400_000 && !s.fp.Crippled(); i++ {
+		pa, ok := s.os.Translate(g.Next())
+		if !ok {
+			break
+		}
+		res := s.fp.Write(pa, uint64(i))
+		if res.Retry {
+			break
+		}
+		last[pa] = uint64(i)
+		s.lv.NoteWrite(pa, s.fp)
+		if i%20_000 == 0 {
+			for p, want := range last {
+				if s.os.Retired(p) {
+					delete(last, p)
+					continue
+				}
+				if got, _ := s.fp.Read(p); got != want {
+					t.Fatalf("PA %d reads %d, want %d", p, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package pcm models a phase-change-memory chip at memory-block
+// granularity with a cell-level endurance model.
+//
+// A block is the wear-leveling and access unit (64 B in the paper, the
+// last-level-cache line size). Each block contains Config.CellsPerBlock
+// cells (bits of a 512-bit ECC group in the paper's setup). Every cell has
+// a finite lifetime in writes, drawn from a normal distribution
+// N(MeanEndurance, (LifetimeCoV*MeanEndurance)^2) as in the paper's setup
+// (Section IV-A: 10^8 writes, CoV 0.2). Each write to a block wears all of
+// its cells by one; a cell fails permanently when the block's write count
+// reaches the cell's lifetime.
+//
+// Materialising per-cell lifetimes would cost CellsPerBlock values per
+// block, so the device instead generates, per block, the ascending order
+// statistics of the cell lifetimes lazily and one at a time: the k-th
+// smallest of C i.i.d. uniforms is generated sequentially from the
+// (k-1)-th via the standard beta-spacing recurrence, then mapped through
+// the normal quantile function. Only the next-to-fail threshold is stored.
+//
+// The device is policy-free: it reports new cell failures on each write
+// and lets an error-correction scheme (package ecc) decide when a block is
+// dead. Dead blocks keep accepting accesses (a real chip cannot refuse
+// them); higher layers are responsible for redirection.
+package pcm
+
+import (
+	"fmt"
+	"math"
+
+	"wlreviver/internal/rng"
+)
+
+// BlockID is a device address (DA) in units of blocks.
+type BlockID uint64
+
+// Config describes the simulated chip geometry and endurance model.
+type Config struct {
+	// NumBlocks is the number of addressable blocks, including any extra
+	// blocks a wear-leveling scheme needs (e.g. Start-Gap's gap block).
+	NumBlocks uint64
+	// BlockBytes is the block size in bytes (paper: 64).
+	BlockBytes int
+	// CellsPerBlock is the number of endurance-limited cells per block
+	// (paper: 512-bit ECC group).
+	CellsPerBlock int
+	// MeanEndurance is the mean cell lifetime in writes (paper: 1e8;
+	// simulations scale it down, see DESIGN.md).
+	MeanEndurance float64
+	// LifetimeCoV is the coefficient of variation of cell lifetime due to
+	// process variation (paper: 0.2).
+	LifetimeCoV float64
+	// Seed makes the chip's process variation reproducible.
+	Seed uint64
+	// TrackContent, when set, records a logical tag per block so tests can
+	// verify no data is lost across migrations. Costs 8 B/block.
+	TrackContent bool
+}
+
+// DefaultConfig returns the scaled-down default geometry used by tests
+// and benches: 2^16 blocks of 64 B (4 MiB), mean endurance 10^4.
+func DefaultConfig() Config {
+	return Config{
+		NumBlocks:     1 << 16,
+		BlockBytes:    64,
+		CellsPerBlock: 512,
+		MeanEndurance: 1e4,
+		LifetimeCoV:   0.2,
+		Seed:          1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.NumBlocks == 0:
+		return fmt.Errorf("pcm: NumBlocks must be positive")
+	case c.BlockBytes <= 0:
+		return fmt.Errorf("pcm: BlockBytes must be positive, got %d", c.BlockBytes)
+	case c.CellsPerBlock <= 0:
+		return fmt.Errorf("pcm: CellsPerBlock must be positive, got %d", c.CellsPerBlock)
+	case c.MeanEndurance <= 0:
+		return fmt.Errorf("pcm: MeanEndurance must be positive, got %g", c.MeanEndurance)
+	case c.LifetimeCoV < 0:
+		return fmt.Errorf("pcm: LifetimeCoV must be non-negative, got %g", c.LifetimeCoV)
+	}
+	return nil
+}
+
+// AccessStats counts raw device accesses. The paper's Table II reports
+// average PCM accesses per software-issued request; the layers above the
+// device add their indirection accesses here.
+type AccessStats struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Total returns reads+writes.
+func (a AccessStats) Total() uint64 { return a.Reads + a.Writes }
+
+// Device is a simulated PCM chip. It is not safe for concurrent use; the
+// simulator is single-threaded per device, which mirrors a single memory
+// controller and keeps the hot path allocation- and lock-free.
+type Device struct {
+	cfg Config
+
+	wear        []uint64  // writes serviced per block
+	nextFail    []uint64  // wear threshold at which the next cell fails
+	failedCells []uint16  // cells failed so far
+	orderU      []float64 // last uniform order statistic generated
+	dead        []bool    // marked by the ECC layer via MarkDead
+
+	content []uint64 // logical tag per block when TrackContent
+
+	stats     AccessStats
+	deadCount uint64
+	sigma     float64
+}
+
+// NewDevice builds a chip from cfg.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:         cfg,
+		wear:        make([]uint64, cfg.NumBlocks),
+		nextFail:    make([]uint64, cfg.NumBlocks),
+		failedCells: make([]uint16, cfg.NumBlocks),
+		orderU:      make([]float64, cfg.NumBlocks),
+		dead:        make([]bool, cfg.NumBlocks),
+		sigma:       cfg.LifetimeCoV * cfg.MeanEndurance,
+	}
+	if cfg.TrackContent {
+		d.content = make([]uint64, cfg.NumBlocks)
+	}
+	for b := uint64(0); b < cfg.NumBlocks; b++ {
+		d.nextFail[b] = d.orderStatThreshold(BlockID(b), 0)
+	}
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// NumBlocks returns the number of blocks.
+func (d *Device) NumBlocks() uint64 { return d.cfg.NumBlocks }
+
+// cellU derives the uniform variate used for the k-th order-statistic
+// spacing of block b. It depends only on (seed, b, k), so failure
+// schedules are independent of the order in which blocks are written.
+func (d *Device) cellU(b BlockID, k int) float64 {
+	src := rng.New(d.cfg.Seed ^ (uint64(b)+1)*0x9E3779B97F4A7C15 ^ (uint64(k)+1)*0xC2B2AE3D27D4EB4F)
+	return src.Float64Open()
+}
+
+// orderStatThreshold computes the wear threshold of the (k+1)-th cell
+// failure of block b, advancing the sequential uniform order statistic
+// from the stored state. k is the number of cells already failed.
+func (d *Device) orderStatThreshold(b BlockID, k int) uint64 {
+	c := d.cfg.CellsPerBlock
+	if k >= c {
+		return math.MaxUint64 // all cells failed; no further events
+	}
+	prev := d.orderU[b] // U_(k), with U_(0) = 0
+	// Remaining c-k uniforms are i.i.d. on (prev, 1); their minimum is
+	// prev + (1-prev) * (1 - (1-V)^(1/(c-k))).
+	v := d.cellU(b, k)
+	u := prev + (1-prev)*(1-math.Pow(1-v, 1/float64(c-k)))
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	d.orderU[b] = u
+	life := d.cfg.MeanEndurance + d.sigma*math.Sqrt2*math.Erfinv(2*u-1)
+	if life < 1 {
+		life = 1
+	}
+	return uint64(math.Ceil(life))
+}
+
+// Write services one write to block b, wearing it. It returns the number
+// of cells that newly failed during this write (usually zero). The caller
+// (the ECC layer) decides whether the block is still correctable.
+func (d *Device) Write(b BlockID) int {
+	d.stats.Writes++
+	d.wear[b]++
+	newFailures := 0
+	for d.wear[b] >= d.nextFail[b] {
+		d.failedCells[b]++
+		newFailures++
+		d.nextFail[b] = d.orderStatThreshold(b, int(d.failedCells[b]))
+	}
+	return newFailures
+}
+
+// Read services one read from block b. Reads do not wear PCM cells.
+func (d *Device) Read(b BlockID) {
+	d.stats.Reads++
+}
+
+// Wear returns the write count of block b.
+func (d *Device) Wear(b BlockID) uint64 { return d.wear[b] }
+
+// WearCounts returns a copy of all per-block write counts, for CoV and
+// leveling-quality analysis.
+func (d *Device) WearCounts() []uint64 {
+	out := make([]uint64, len(d.wear))
+	copy(out, d.wear)
+	return out
+}
+
+// FailedCells returns the number of failed cells in block b.
+func (d *Device) FailedCells(b BlockID) int { return int(d.failedCells[b]) }
+
+// MarkDead records that the ECC layer declared block b uncorrectable.
+// Marking an already-dead block is a no-op.
+func (d *Device) MarkDead(b BlockID) {
+	if !d.dead[b] {
+		d.dead[b] = true
+		d.deadCount++
+	}
+}
+
+// Dead reports whether block b has been declared uncorrectable.
+func (d *Device) Dead(b BlockID) bool { return d.dead[b] }
+
+// DeadBlocks returns the number of blocks declared dead.
+func (d *Device) DeadBlocks() uint64 { return d.deadCount }
+
+// SurvivalRate returns the fraction of blocks not declared dead, the
+// y-axis of the paper's Figure 6.
+func (d *Device) SurvivalRate() float64 {
+	return 1 - float64(d.deadCount)/float64(d.cfg.NumBlocks)
+}
+
+// Stats returns the cumulative raw access counters.
+func (d *Device) Stats() AccessStats { return d.stats }
+
+// SetContent stores a logical content tag for block b (TrackContent only).
+func (d *Device) SetContent(b BlockID, tag uint64) {
+	if d.content != nil {
+		d.content[b] = tag
+	}
+}
+
+// Content returns the logical content tag of block b (TrackContent only).
+func (d *Device) Content(b BlockID) uint64 {
+	if d.content == nil {
+		return 0
+	}
+	return d.content[b]
+}
+
+// TracksContent reports whether the device records content tags.
+func (d *Device) TracksContent() bool { return d.content != nil }
+
+// PeekNextFailure returns the wear count at which block b's next cell
+// failure will occur. Exposed for tests and fast-forward heuristics.
+func (d *Device) PeekNextFailure(b BlockID) uint64 { return d.nextFail[b] }

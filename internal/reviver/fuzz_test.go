@@ -1,0 +1,111 @@
+package reviver
+
+// Randomized failure-schedule property test: quick.Check drives the full
+// harness with arbitrary workload seeds and randomly scripted block
+// kills, then verifies the paper's theorems and data integrity. This is
+// the broadest net for chain-maintenance corner cases (loops, heads,
+// switch interactions) beyond the statistical wear-out runs.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wlreviver/internal/rng"
+	"wlreviver/internal/trace"
+)
+
+func TestQuickRandomFailureSchedules(t *testing.T) {
+	prop := func(seed uint64, killDensity uint8) bool {
+		const blocks = 64
+		h := newHarness(t, harnessOpts{
+			blocks: blocks, blocksPerPage: 8, endurance: 1e12, seed: 3, gapPeriod: 3,
+		})
+		// Script: each block gets a kill threshold drawn from a small
+		// wear range with probability (killDensity%64)/64.
+		src := rng.New(seed)
+		killAt := make(map[uint64]uint64)
+		density := uint64(killDensity) % 48
+		for da := uint64(0); da < blocks+1; da++ {
+			if src.Uint64n(64) < density {
+				killAt[da] = 1 + src.Uint64n(40)
+			}
+		}
+		h.be.FailureHook = func(da, wear uint64) bool {
+			at, ok := killAt[da]
+			return ok && wear >= at
+		}
+		g, err := trace.NewWeighted(trace.WeightedConfig{
+			NumBlocks: blocks, PageBlocks: 8, TargetCoV: 2, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3000; i++ {
+			if !h.write(g.Next()) {
+				break // memory exhausted: a legal outcome
+			}
+		}
+		// Drain pending work, then check the theorems and content.
+		for retries := 0; h.rv.HasPending() && retries < 50; retries++ {
+			if !h.write(g.Next()) {
+				break
+			}
+		}
+		if h.rv.HasPending() {
+			return true // permanently starved near death; nothing to verify
+		}
+		h.verifyTheorems() // t.Fatal on violation fails the whole test
+		h.verifyContent()
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The same property with Security Refresh as the revived scheme: swaps
+// stress the dual-head delivery paths.
+func TestQuickRandomFailureSchedulesSecurityRefresh(t *testing.T) {
+	prop := func(seed uint64, killDensity uint8) bool {
+		const blocks = 64
+		h := newHarness(t, harnessOpts{
+			blocks: blocks, blocksPerPage: 8, endurance: 1e12, seed: 5,
+			gapPeriod: 3, securityRef: true,
+		})
+		src := rng.New(seed ^ 0x5F5F)
+		killAt := make(map[uint64]uint64)
+		density := uint64(killDensity) % 48
+		for da := uint64(0); da < blocks; da++ {
+			if src.Uint64n(64) < density {
+				killAt[da] = 1 + src.Uint64n(40)
+			}
+		}
+		h.be.FailureHook = func(da, wear uint64) bool {
+			at, ok := killAt[da]
+			return ok && wear >= at
+		}
+		g, err := trace.NewUniform(blocks, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3000; i++ {
+			if !h.write(g.Next()) {
+				break
+			}
+		}
+		for retries := 0; h.rv.HasPending() && retries < 50; retries++ {
+			if !h.write(g.Next()) {
+				break
+			}
+		}
+		if h.rv.HasPending() {
+			return true
+		}
+		h.verifyTheorems()
+		h.verifyContent()
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

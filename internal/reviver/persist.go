@@ -1,0 +1,194 @@
+package reviver
+
+// Reboot support (paper §III-A): the retirement bitmap — one bit per
+// page, set at most once in the chip's lifetime — is persisted in PCM so
+// a rebooting OS knows which pages to keep away from, and the framework's
+// pointers live in PCM anyway (in-block pointers in the failed blocks,
+// inverse pointers in the acquired pages' pointer sections), so the
+// controller's tables can be rebuilt by reading them back — "even in very
+// rare cases where the pointers are lost, they can be rebuilt by scanning
+// the entire PCM".
+//
+// The simulator keeps that PCM-resident metadata as authoritative Go
+// maps; Snapshot models reading it out of the chip at shutdown (or the
+// full scan), and Restore models the reboot: the OS reloads the bitmap
+// and the controller reloads its links.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+var snapshotMagic = [4]byte{'W', 'L', 'R', 'V'}
+
+const snapshotVersion = 1
+
+// Snapshot serialises the framework's PCM-resident metadata: the OS
+// retirement bitmap, the failed-block links, the spare-PA pool and the
+// inverse-pointer slot assignments. It fails while a wear-leveling
+// delivery is suspended (a clean shutdown completes pending work first;
+// hardware would drain the migration buffer).
+func (r *Reviver) Snapshot() ([]byte, error) {
+	if len(r.pending) > 0 {
+		return nil, fmt.Errorf("reviver: cannot snapshot with %d suspended deliveries", len(r.pending))
+	}
+	bitmap := r.os.Bitmap()
+	var out []byte
+	out = append(out, snapshotMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, snapshotVersion)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(bitmap)))
+	out = append(out, bitmap...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(r.ptr)))
+	for da, pa := range r.ptr {
+		out = binary.LittleEndian.AppendUint64(out, da)
+		out = binary.LittleEndian.AppendUint64(out, pa)
+	}
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(r.avail)))
+	for _, pa := range r.avail {
+		out = binary.LittleEndian.AppendUint64(out, pa)
+	}
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(r.ptrSlot)))
+	for pa, slot := range r.ptrSlot {
+		out = binary.LittleEndian.AppendUint64(out, pa)
+		out = binary.LittleEndian.AppendUint64(out, slot)
+	}
+	return out, nil
+}
+
+// Restore rebuilds the framework's state from a Snapshot after a reboot:
+// the OS model reloads the retirement bitmap and the controller reloads
+// links, spares and slot assignments. The device (the PCM itself, with
+// its wear and failures) and the wear-leveling scheme's registers are
+// non-volatile and must be the ones the snapshot was taken against;
+// Restore validates the snapshot against them.
+func (r *Reviver) Restore(data []byte) error {
+	rd := &snapReader{buf: data}
+	var magic [4]byte
+	if err := rd.bytes(magic[:]); err != nil {
+		return fmt.Errorf("reviver: reading snapshot magic: %w", err)
+	}
+	if magic != snapshotMagic {
+		return fmt.Errorf("reviver: bad snapshot magic %q", magic)
+	}
+	version, err := rd.u32()
+	if err != nil {
+		return fmt.Errorf("reviver: reading snapshot version: %w", err)
+	}
+	if version != snapshotVersion {
+		return fmt.Errorf("reviver: unsupported snapshot version %d", version)
+	}
+	bmLen, err := rd.u64()
+	if err != nil {
+		return err
+	}
+	bitmap := make([]byte, bmLen)
+	if err := rd.bytes(bitmap); err != nil {
+		return fmt.Errorf("reviver: reading bitmap: %w", err)
+	}
+	if err := r.os.LoadBitmap(bitmap); err != nil {
+		return err
+	}
+
+	ptr := make(map[uint64]uint64)
+	nPtr, err := rd.u64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nPtr; i++ {
+		da, err := rd.u64()
+		if err != nil {
+			return err
+		}
+		pa, err := rd.u64()
+		if err != nil {
+			return err
+		}
+		if da >= r.lv.NumDAs() {
+			return fmt.Errorf("reviver: snapshot links DA %d outside the DA space", da)
+		}
+		if !r.be.Dead(da) {
+			return fmt.Errorf("reviver: snapshot links DA %d but the chip says it is healthy", da)
+		}
+		if !r.os.Retired(pa) {
+			return fmt.Errorf("reviver: snapshot shadow PA %d is not in a retired page", pa)
+		}
+		ptr[da] = pa
+	}
+	var avail []uint64
+	nAvail, err := rd.u64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nAvail; i++ {
+		pa, err := rd.u64()
+		if err != nil {
+			return err
+		}
+		if !r.os.Retired(pa) {
+			return fmt.Errorf("reviver: snapshot spare PA %d is not in a retired page", pa)
+		}
+		avail = append(avail, pa)
+	}
+	ptrSlot := make(map[uint64]uint64)
+	nSlot, err := rd.u64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nSlot; i++ {
+		pa, err := rd.u64()
+		if err != nil {
+			return err
+		}
+		slot, err := rd.u64()
+		if err != nil {
+			return err
+		}
+		ptrSlot[pa] = slot
+	}
+
+	r.ptr = ptr
+	r.inv = make(map[uint64]uint64, len(ptr))
+	for da, pa := range ptr {
+		if other, dup := r.inv[pa]; dup {
+			return fmt.Errorf("reviver: snapshot links PA %d to both DA %d and DA %d", pa, other, da)
+		}
+		r.inv[pa] = da
+	}
+	r.avail = avail
+	r.ptrSlot = ptrSlot
+	r.pending = nil
+	r.pendVals = make(map[uint64]pendingVal)
+	r.orphans = make(map[uint64]struct{})
+	return nil
+}
+
+// snapReader is a bounds-checked little-endian reader.
+type snapReader struct {
+	buf []byte
+	off int
+}
+
+func (s *snapReader) bytes(dst []byte) error {
+	if s.off+len(dst) > len(s.buf) {
+		return fmt.Errorf("reviver: snapshot truncated at offset %d", s.off)
+	}
+	copy(dst, s.buf[s.off:])
+	s.off += len(dst)
+	return nil
+}
+
+func (s *snapReader) u32() (uint32, error) {
+	var b [4]byte
+	if err := s.bytes(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (s *snapReader) u64() (uint64, error) {
+	var b [8]byte
+	if err := s.bytes(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}

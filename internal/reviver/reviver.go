@@ -1,0 +1,749 @@
+// Package reviver implements WL-Reviver (Fan et al., DSN 2014): a
+// framework that lets any in-PCM wear-leveling scheme keep functioning
+// after block failures, with no OS support beyond standard
+// exception-driven page retirement.
+//
+// # Design recap (paper §III)
+//
+// A failed memory block (a device address, DA) is never linked directly
+// to a healthy spare block. Instead it is linked to a *virtual shadow
+// block* — a physical address (PA) inside an OS page that was retired
+// after a reported access error and is therefore invisible to software.
+// The PA's current PA→DA mapping, owned by the wear-leveling scheme,
+// supplies the actual *shadow block*; when the scheme migrates data and
+// updates its mapping, the shadow follows automatically and no pointer
+// ever needs rewriting.
+//
+// Spare PAs are acquired implicitly and incrementally: the first failure
+// (or any failure arriving when the spare pool is empty during a software
+// write) is reported to the OS, which retires the 4 KB page around the
+// reported address; the page's 64 PAs become spares. Failures detected
+// during wear-leveling migrations cannot be reported (that would need a
+// new interrupt type), so the migration is suspended and the *next
+// software write* is reported as failed in its place — a sacrifice the OS
+// already knows how to recover from (§III-A).
+//
+// Each acquired page is split into a virtual-shadow section and an
+// inverse-pointer section (Fig. 4): inverse pointers (virtual shadow PA →
+// failed DA) let the framework reduce every multi-step chain to one step
+// by switching two failed blocks' virtual shadows (Figs. 2–3), so any
+// software-reachable failed block is always exactly one hop from a
+// healthy shadow (Theorem 1). Blocks whose virtual shadow maps straight
+// back to them form PA-DA loops; they hold no data and are unreachable
+// from software (Theorems 2–3).
+package reviver
+
+import (
+	"fmt"
+
+	"wlreviver/internal/cache"
+	"wlreviver/internal/mc"
+	"wlreviver/internal/osmodel"
+	"wlreviver/internal/wear"
+)
+
+// Config parameterises the framework.
+type Config struct {
+	// PointerBytes is the stored size of a PA pointer (paper: 4, i.e.
+	// 32-bit). It determines how many inverse pointers fit in one block
+	// and thus the split of an acquired page into shadow and
+	// inverse-pointer sections.
+	PointerBytes int
+	// RemapCache, when non-nil, caches failed-block remap metadata so a
+	// hit skips the in-block pointer read (Table II's 32 KB cache).
+	RemapCache *cache.Cache
+	// DisableChainReduction turns off the virtual-shadow switching that
+	// keeps chains at one step. For the ablation benchmark only; the
+	// paper's design always reduces.
+	DisableChainReduction bool
+	// ImmediateAcquisition models §III-A's first option: instead of
+	// suspending a starved migration until the next software write can be
+	// sacrificed, the controller interrupts the OS immediately to acquire
+	// a page — a design the paper rejects because it needs a new
+	// interrupt type and OS changes. For the ablation benchmark.
+	ImmediateAcquisition bool
+}
+
+// Stats counts the framework's activity.
+type Stats struct {
+	// SoftwareWrites and SoftwareReads count serviced requests.
+	SoftwareWrites uint64
+	SoftwareReads  uint64
+	// RequestAccesses counts raw PCM accesses performed to service
+	// software requests (data accesses plus chain pointer reads); the
+	// paper's Table II reports RequestAccesses / requests.
+	RequestAccesses uint64
+	// MaintenanceAccesses counts raw accesses for everything else:
+	// migrations, link writes, inverse-pointer updates.
+	MaintenanceAccesses uint64
+	// PagesAcquired counts OS pages retired on the framework's behalf.
+	PagesAcquired uint64
+	// SacrificedWrites counts healthy writes reported as failed to
+	// trigger an acquisition for a suspended migration.
+	SacrificedWrites uint64
+	// LinksCreated counts failed blocks linked to virtual shadows.
+	LinksCreated uint64
+	// ChainSwitches counts multi-step chain reductions performed.
+	ChainSwitches uint64
+	// Suspensions counts wear-leveling operations suspended for lack of
+	// spare PAs.
+	Suspensions uint64
+	// RelocationsDropped counts page-retirement recovery copies that
+	// could not be completed (unrecoverable blocks).
+	RelocationsDropped uint64
+}
+
+// chainLink records one dead block on a walked chain together with the
+// virtual shadow PA that was followed out of it.
+type chainLink struct {
+	da  uint64
+	via uint64
+}
+
+// pendingVal buffers the data of a suspended delivery so reads stay
+// consistent while the migration waits for spare space (the hardware
+// analogue is the migration buffer in the memory controller).
+type pendingVal struct {
+	tag uint64
+	has bool
+}
+
+// pendingOp is a suspended wear-leveling delivery: write tag into the
+// storage chain of entry, with the chain head reachable through headPA.
+type pendingOp struct {
+	entry   uint64
+	tag     uint64
+	has     bool
+	headPA  uint64
+	hasHead bool
+}
+
+// Reviver is the WL-Reviver framework instance for one chip.
+type Reviver struct {
+	cfg Config
+	lv  wear.Leveler
+	be  *mc.Backend
+	os  *osmodel.Model
+
+	ptr     map[uint64]uint64 // failed DA -> virtual shadow PA
+	inv     map[uint64]uint64 // virtual shadow PA -> failed DA
+	ptrSlot map[uint64]uint64 // shadow PA -> pointer-section PA holding its inverse pointer
+	avail   []uint64          // unlinked reserved PAs (the register pair + skip refinement)
+
+	pending  []pendingOp
+	pendVals map[uint64]pendingVal // entry DA -> buffered data while suspended
+	orphans  map[uint64]struct{}   // dead blocks left unlinked by starved walks
+
+	// lastWritePA remembers the most recent software write target for
+	// the ImmediateAcquisition ablation (the page the OS interrupt
+	// reports against).
+	lastWritePA *uint64
+
+	shadowPerPage uint64
+	st            Stats
+}
+
+// New builds a Reviver over a leveler, a backend and the OS model. The
+// leveler's PA space must match the OS model's block count, and the
+// backend's device must cover the leveler's DA space.
+func New(cfg Config, lv wear.Leveler, be *mc.Backend, os *osmodel.Model) (*Reviver, error) {
+	if cfg.PointerBytes <= 0 {
+		cfg.PointerBytes = 4
+	}
+	blockBytes := be.Dev.Config().BlockBytes
+	perBlock := uint64(blockBytes / cfg.PointerBytes)
+	if perBlock == 0 {
+		return nil, fmt.Errorf("reviver: pointer size %dB exceeds block size %dB",
+			cfg.PointerBytes, blockBytes)
+	}
+	bpp := os.BlocksPerPage()
+	shadow := bpp * perBlock / (perBlock + 1)
+	if shadow == 0 {
+		return nil, fmt.Errorf("reviver: page of %d blocks too small for a shadow section", bpp)
+	}
+	if lv.NumPAs() != os.NumPages()*bpp {
+		return nil, fmt.Errorf("reviver: leveler PA space %d != OS space %d blocks",
+			lv.NumPAs(), os.NumPages()*bpp)
+	}
+	if lv.NumDAs() > be.Dev.NumBlocks() {
+		return nil, fmt.Errorf("reviver: leveler DA space %d exceeds device %d blocks",
+			lv.NumDAs(), be.Dev.NumBlocks())
+	}
+	return &Reviver{
+		cfg:           cfg,
+		lv:            lv,
+		be:            be,
+		os:            os,
+		ptr:           make(map[uint64]uint64),
+		inv:           make(map[uint64]uint64),
+		ptrSlot:       make(map[uint64]uint64),
+		pendVals:      make(map[uint64]pendingVal),
+		orphans:       make(map[uint64]struct{}),
+		shadowPerPage: shadow,
+	}, nil
+}
+
+// Name implements mc.Protector.
+func (r *Reviver) Name() string { return "WL-Reviver" }
+
+// Stats returns a copy of the activity counters.
+func (r *Reviver) Stats() Stats { return r.st }
+
+// AvailableSpares returns the number of unlinked reserved PAs.
+func (r *Reviver) AvailableSpares() int { return len(r.avail) }
+
+// LinkedFailures returns the number of failed blocks currently linked to
+// virtual shadows.
+func (r *Reviver) LinkedFailures() int { return len(r.ptr) }
+
+// HasPending reports whether a wear-leveling delivery is suspended.
+func (r *Reviver) HasPending() bool { return len(r.pending) > 0 }
+
+// ---- spare-PA management -------------------------------------------------
+
+// takePA hands out an unlinked reserved PA whose current mapping target
+// is not excluded. Exclusion prevents two degenerate links: a PA mapping
+// straight back to the block being linked (a data-less loop while data
+// still needs storing), and a PA mapping into a block already on the
+// chain being walked (which would close a pointer cycle). The paper
+// expresses availability as a [current, last] register pair; the slice
+// generalises that to tolerate skips.
+func (r *Reviver) takePA(excluded func(pa uint64) bool) (uint64, bool) {
+	for i := len(r.avail) - 1; i >= 0; i-- {
+		p := r.avail[i]
+		if excluded(p) {
+			continue
+		}
+		r.avail = append(r.avail[:i], r.avail[i+1:]...)
+		return p, true
+	}
+	return 0, false
+}
+
+// link records da's virtual shadow: the PA pointer is written into the
+// failed block itself (readable thanks to strong in-block coding, as in
+// FREE-p/Zombie), and the inverse pointer is written into the block
+// mapped by the PA's pointer-section slot.
+func (r *Reviver) link(da, p uint64) {
+	delete(r.orphans, da)
+	r.ptr[da] = p
+	r.setInv(p, da)
+	r.be.Dev.Write(pcmBlock(da)) // pointer write into the failed block
+	r.st.MaintenanceAccesses++
+	r.st.LinksCreated++
+	if r.cfg.RemapCache != nil {
+		r.cfg.RemapCache.Invalidate(da)
+	}
+}
+
+// setInv updates the inverse pointer of virtual shadow PA p, wearing the
+// pointer block that stores it. Inverse-pointer blocks are not themselves
+// failure-protected: the paper notes they are written rarely and can be
+// rebuilt by a full PCM scan if lost, so the logical mapping is kept
+// authoritative here.
+func (r *Reviver) setInv(p, da uint64) {
+	r.inv[p] = da
+	if slot, ok := r.ptrSlot[p]; ok {
+		r.be.Dev.Write(pcmBlock(r.lv.Map(slot)))
+		r.st.MaintenanceAccesses++
+	}
+}
+
+// acquirePage reports an access failure at reportPA to the OS, which
+// retires the surrounding page and relocates its live data to a donor
+// page (the recovery the paper's §III-A relies on). The page's PAs are
+// split per Fig. 4: the first shadowPerPage become spare virtual shadows,
+// the rest address the blocks that will store their inverse pointers.
+//
+// The recovery copies are performed here, in exception-handling order:
+// the page's data is snapshotted before any of its blocks can be reused
+// as shadow storage, then delivered to the donor page. The returned
+// relocations are the copies actually performed (informational — the
+// caller must not replay them). A block whose data was already lost (the
+// genuinely failed block being written) naturally drops out because its
+// chain holds no data.
+func (r *Reviver) acquirePage(reportPA uint64) []osmodel.Relocation {
+	pas, relocs := r.os.ReportFailure(reportPA)
+	type saved struct {
+		rc  osmodel.Relocation
+		tag uint64
+	}
+	toCopy := make([]saved, 0, len(relocs))
+	for _, rc := range relocs {
+		tag, has, acc := r.readEffective(r.lv.Map(rc.OldPA))
+		r.st.MaintenanceAccesses += acc
+		if has {
+			toCopy = append(toCopy, saved{rc: rc, tag: tag})
+		}
+	}
+	shadow := pas[:r.shadowPerPage]
+	slots := pas[r.shadowPerPage:]
+	perBlock := uint64(r.be.Dev.Config().BlockBytes / r.cfg.PointerBytes)
+	for i, p := range shadow {
+		r.avail = append(r.avail, p)
+		if len(slots) > 0 {
+			r.ptrSlot[p] = slots[uint64(i)/perBlock]
+		}
+	}
+	performed := make([]osmodel.Relocation, 0, len(toCopy))
+	for _, s := range toCopy {
+		acc, needPA := r.deliver(r.lv.Map(s.rc.NewPA), s.tag, nil, remap{}, true, true)
+		r.st.MaintenanceAccesses += acc
+		if needPA {
+			// Even the fresh page could not supply a spare for the copy
+			// target's chain; the OS would log an unrecoverable block.
+			r.st.RelocationsDropped++
+			continue
+		}
+		performed = append(performed, s.rc)
+	}
+	r.st.PagesAcquired++
+	r.sweepOrphans()
+	return performed
+}
+
+// sweepOrphans restores Theorem 2 after an acquisition: every dead block
+// left unlinked by a spare-starved walk is linked now that fresh spares
+// exist (best-effort; a block is re-orphaned if spares run out again).
+func (r *Reviver) sweepOrphans() {
+	if len(r.orphans) == 0 {
+		return
+	}
+	das := make([]uint64, 0, len(r.orphans))
+	for da := range r.orphans {
+		das = append(das, da)
+	}
+	for _, da := range das {
+		if !r.be.Dead(da) {
+			delete(r.orphans, da)
+			continue
+		}
+		if _, linked := r.ptr[da]; linked {
+			delete(r.orphans, da)
+			continue
+		}
+		headPA, okHead := r.lv.Inverse(da)
+		head := r.chainHead(headPA, okHead, da)
+		acc, _ := r.deliver(da, 0, head, remap{}, false, false)
+		r.st.MaintenanceAccesses += acc
+	}
+}
+
+// ---- chain walking -------------------------------------------------------
+
+// walkLimit bounds chain walks in introspection helpers; the delivery
+// walk itself is bounded by the DA-space size (a chain can legitimately
+// thread many dead blocks in a heavily degraded chip before reduction
+// collapses it, but it can never revisit one).
+const walkLimit = 64
+
+// remap overlays the in-flight mapping update onto the leveler's current
+// (pre-update) mapping. Mover calls arrive before the scheme commits its
+// update (see wear.Mover), but deliveries must place data where the
+// post-update mapping will look for it; the overlay covers the one or
+// two PAs whose targets are changing.
+type remap struct {
+	pa1, da1 uint64
+	pa2, da2 uint64
+	n        uint8
+}
+
+// mapPA resolves p under the post-update mapping.
+func (m remap) mapPA(r *Reviver, p uint64) uint64 {
+	if m.n > 0 && p == m.pa1 {
+		return m.da1
+	}
+	if m.n > 1 && p == m.pa2 {
+		return m.da2
+	}
+	return r.lv.Map(p)
+}
+
+// deliver writes tag into the storage reachable through entry — the
+// single fundamental operation the framework performs on behalf of both
+// software writes and wear-leveling migrations. It walks the chain from
+// entry, linking any newly failed blocks it encounters, writes the data
+// into the first healthy block (when doWrite is set), and then reduces
+// the walked chain to one step by switching virtual shadows.
+//
+// head seeds the walk with a chain element *above* entry: the failed
+// block whose virtual shadow will map to entry once the in-flight
+// mapping update lands (scenario 2, Fig. 3).
+//
+// needPA is returned when a link was needed but no spare PA exists; in
+// that case no data was written and the caller must suspend.
+func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite, hasData bool) (accesses uint64, needPA bool) {
+	path := head
+	cur := entry
+	// onWalk excludes the current block and everything already walked
+	// from becoming a fresh link target (see takePA).
+	onWalk := func(da uint64) bool {
+		if da == cur {
+			return true
+		}
+		for _, l := range path {
+			if l.da == da {
+				return true
+			}
+		}
+		return false
+	}
+	// freshLink links cur to a spare PA, extending the walk through it.
+	// Candidates are judged under the effective (post-update) mapping.
+	freshLink := func() bool {
+		p, ok := r.takePA(func(pa uint64) bool { return onWalk(rm.mapPA(r, pa)) })
+		if !ok {
+			return false
+		}
+		r.link(cur, p)
+		path = append(path, chainLink{da: cur, via: p})
+		cur = rm.mapPA(r, p)
+		return true
+	}
+	limit := int(r.lv.NumDAs()) + 8
+	for steps := 0; ; steps++ {
+		if steps > limit {
+			panic(fmt.Sprintf("reviver: chain walk from DA %d exceeded %d steps; invariant broken", entry, limit))
+		}
+		if !r.be.Dead(cur) {
+			if doWrite && hasData {
+				accesses++
+				if !r.be.WriteRaw(cur) {
+					// The block died under this very write (Fig. 2c).
+					if !freshLink() {
+						r.orphans[cur] = struct{}{}
+						r.reduce(path) // shorten what was walked so far
+						return accesses, true
+					}
+					continue
+				}
+				if r.be.Dev.TracksContent() {
+					r.be.Dev.SetContent(pcmBlock(cur), tag)
+				}
+			}
+			break
+		}
+		// Dead block: follow (or create) its virtual shadow link.
+		p, linked := r.ptr[cur]
+		if linked && onWalk(rm.mapPA(r, p)) {
+			// Following the existing link would close a cycle: either the
+			// block sits on a PA-DA loop that data now needs to flow
+			// through, or the link points back into the walked chain.
+			// Recycle the virtual shadow into the spare pool and relink
+			// the block afresh.
+			delete(r.ptr, cur)
+			delete(r.inv, p)
+			r.avail = append(r.avail, p)
+			linked = false
+		}
+		if !linked {
+			if !freshLink() {
+				r.orphans[cur] = struct{}{}
+				r.reduce(path) // shorten what was walked so far
+				return accesses, true
+			}
+			continue
+		}
+		// Reading the in-block pointer costs one access unless the
+		// remap cache holds it.
+		if r.cfg.RemapCache == nil || !r.cfg.RemapCache.Lookup(cur) {
+			r.be.ReadRaw(cur)
+			accesses++
+		}
+		path = append(path, chainLink{da: cur, via: p})
+		cur = rm.mapPA(r, p)
+	}
+	r.reduce(path)
+	return accesses, false
+}
+
+// reduce collapses a walked multi-step chain to one step: the chain's
+// first failed block adopts the last virtual shadow (one hop from the
+// final storage), and every other failed block adopts its predecessor's
+// virtual shadow, placing it on a data-less PA-DA loop (Figs. 2d, 3b).
+func (r *Reviver) reduce(path []chainLink) {
+	if len(path) < 2 || r.cfg.DisableChainReduction {
+		return
+	}
+	last := path[len(path)-1].via
+	r.rewritePtr(path[0].da, last)
+	for i := 1; i < len(path); i++ {
+		r.rewritePtr(path[i].da, path[i-1].via)
+	}
+	r.st.ChainSwitches++
+}
+
+// rewritePtr points da's virtual shadow at p, updating the in-block
+// pointer, the inverse pointer, and the remap cache.
+func (r *Reviver) rewritePtr(da, p uint64) {
+	r.ptr[da] = p
+	r.setInv(p, da)
+	r.be.Dev.Write(pcmBlock(da))
+	r.st.MaintenanceAccesses++
+	if r.cfg.RemapCache != nil {
+		r.cfg.RemapCache.Invalidate(da)
+	}
+}
+
+// readEffective walks the chain from da and reads the logical data
+// stored for it. has is false when da is on a data-less PA-DA loop (or
+// an unlinked failure being handled elsewhere).
+func (r *Reviver) readEffective(da uint64) (tag uint64, has bool, accesses uint64) {
+	if v, pending := r.pendVals[da]; pending {
+		// The data sits in the controller's suspended-migration buffer.
+		return v.tag, v.has, 0
+	}
+	cur := da
+	for steps := 0; ; steps++ {
+		if steps > walkLimit {
+			panic(fmt.Sprintf("reviver: read walk from DA %d exceeded %d steps", da, walkLimit))
+		}
+		if !r.be.Dead(cur) {
+			r.be.ReadRaw(cur)
+			accesses++
+			return r.be.Dev.Content(pcmBlock(cur)), true, accesses
+		}
+		p, linked := r.ptr[cur]
+		if !linked {
+			return 0, false, accesses // unlinked failure: no stored data
+		}
+		next := r.lv.Map(p)
+		if next == cur {
+			return 0, false, accesses // PA-DA loop: no data behind it
+		}
+		if r.cfg.RemapCache == nil || !r.cfg.RemapCache.Lookup(cur) {
+			r.be.ReadRaw(cur)
+			accesses++
+		}
+		cur = next
+	}
+}
+
+// chainHead returns the one-element head slice for a delivery whose
+// entry will, after the in-flight mapping update, be mapped by headPA —
+// when headPA is some failed block's virtual shadow, that block's chain
+// now runs through the entry and must join the reduction. A head equal
+// to the entry itself (the entry's own shadow is remapping onto it) is
+// omitted: the walk's loop-recycling handles that case directly.
+func (r *Reviver) chainHead(headPA uint64, ok bool, entry uint64) []chainLink {
+	if !ok {
+		return nil
+	}
+	d, isShadow := r.inv[headPA]
+	if !isShadow || d == entry || !r.be.Dead(d) {
+		return nil
+	}
+	return []chainLink{{da: d, via: headPA}}
+}
+
+// ---- mc.Protector: software request path ----------------------------------
+
+// Write implements mc.Protector. See package comment for the sacrifice
+// protocol when a suspended migration is waiting for spare space.
+func (r *Reviver) Write(pa, tag uint64) mc.WriteResult {
+	r.st.SoftwareWrites++
+	if len(r.pending) > 0 {
+		if len(r.avail) > 0 {
+			r.resume()
+		}
+		if len(r.pending) > 0 {
+			// Sacrifice this write: report it to the OS as failed even
+			// though it may not be (§III-A). The OS retires the page and
+			// redirects the write to an alternative location; the caller
+			// retries at the new translation.
+			relocs := r.acquirePage(pa)
+			r.st.SacrificedWrites++
+			return mc.WriteResult{Relocations: relocs, Retry: true}
+		}
+	}
+	paCopy := pa
+	r.lastWritePA = &paCopy
+	da := r.lv.Map(pa)
+	accesses, needPA := r.deliver(da, tag, nil, remap{}, true, true)
+	r.st.RequestAccesses += accesses
+	if needPA {
+		// A genuine write failure with the spare pool empty: report it.
+		relocs := r.acquirePage(pa)
+		return mc.WriteResult{Accesses: accesses, Relocations: relocs, Retry: true}
+	}
+	return mc.WriteResult{Accesses: accesses}
+}
+
+// Read implements mc.Protector.
+func (r *Reviver) Read(pa uint64) (uint64, uint64) {
+	r.st.SoftwareReads++
+	tag, _, accesses := r.readEffective(r.lv.Map(pa))
+	r.st.RequestAccesses += accesses
+	return tag, accesses
+}
+
+// ResumePending implements mc.Protector.
+func (r *Reviver) ResumePending() uint64 {
+	if len(r.pending) == 0 || len(r.avail) == 0 {
+		return 0
+	}
+	return r.resume()
+}
+
+// resume retries suspended deliveries in order until they complete or
+// spare PAs run out again.
+func (r *Reviver) resume() uint64 {
+	var total uint64
+	for len(r.pending) > 0 {
+		op := r.pending[0]
+		head := r.chainHead(op.headPA, op.hasHead, op.entry)
+		accesses, needPA := r.deliver(op.entry, op.tag, head, remap{}, true, op.has)
+		total += accesses
+		if needPA {
+			break // still starved; await the next sacrifice
+		}
+		r.pending = r.pending[1:]
+		delete(r.pendVals, op.entry)
+	}
+	r.st.MaintenanceAccesses += total
+	return total
+}
+
+// suspend parks a delivery until spare space arrives, buffering its data
+// so reads stay consistent (the paper suspends the whole migration in
+// the controller; buffering the one moved block is the simulation
+// equivalent — observable behaviour is identical). Under the
+// ImmediateAcquisition ablation it instead interrupts the OS right away
+// and completes the delivery.
+func (r *Reviver) suspend(entry, tag uint64, has bool, headPA uint64, hasHead bool) {
+	if r.cfg.ImmediateAcquisition && r.lastWritePA != nil && !r.os.Retired(*r.lastWritePA) {
+		r.acquirePage(*r.lastWritePA)
+		r.lastWritePA = nil
+		accesses, needPA := r.deliver(entry, tag, r.chainHead(headPA, hasHead, entry), remap{}, true, has)
+		r.st.MaintenanceAccesses += accesses
+		if !needPA {
+			return
+		}
+		// Even the fresh page could not finish it; fall through to the
+		// regular suspension.
+	}
+	r.pending = append(r.pending, pendingOp{
+		entry: entry, tag: tag, has: has, headPA: headPA, hasHead: hasHead,
+	})
+	r.pendVals[entry] = pendingVal{tag: tag, has: has}
+	r.st.Suspensions++
+}
+
+// ---- wear.Mover: migration path -------------------------------------------
+
+// Migrate implements wear.Mover: the wear-leveling scheme moves the block
+// of data at src into dst (about to become the mapping target of src's
+// current PA). Failures along dst's chain are hidden; if hiding needs a
+// spare PA and none exists, the delivery is suspended per §III-A.
+func (r *Reviver) Migrate(src, dst uint64) {
+	headPA, okHead := r.lv.Inverse(src) // post-update, headPA maps to dst
+	tag, has, accesses := r.readEffective(src)
+	r.st.MaintenanceAccesses += accesses
+	if len(r.pending) > 0 {
+		// An earlier operation is already waiting; queue behind it to
+		// preserve order.
+		r.suspend(dst, tag, has, headPA, okHead)
+		return
+	}
+	rm := remap{}
+	if okHead {
+		rm = remap{pa1: headPA, da1: dst, n: 1}
+	}
+	accesses, needPA := r.deliver(dst, tag, r.chainHead(headPA, okHead, dst), rm, true, has)
+	r.st.MaintenanceAccesses += accesses
+	if needPA {
+		r.suspend(dst, tag, has, headPA, okHead)
+	}
+}
+
+// Swap implements wear.Mover: the scheme exchanges the data at a and b
+// (Security Refresh's fundamental operation). Each direction is one
+// delivery with its own chain head.
+func (r *Reviver) Swap(a, b uint64) {
+	if a == b {
+		return
+	}
+	raPA, okA := r.lv.Inverse(a) // post-update, raPA maps to b
+	rbPA, okB := r.lv.Inverse(b) // post-update, rbPA maps to a
+	tagA, hasA, acc1 := r.readEffective(a)
+	tagB, hasB, acc2 := r.readEffective(b)
+	r.st.MaintenanceAccesses += acc1 + acc2
+	rm := remap{}
+	if okA {
+		rm = remap{pa1: raPA, da1: b, n: 1}
+	}
+	if okB {
+		rm.pa2, rm.da2 = rbPA, a
+		rm.n++
+		if !okA {
+			rm.pa1, rm.da1, rm.pa2, rm.da2 = rbPA, a, 0, 0
+		}
+	}
+	r.deliverOrSuspend(b, tagA, hasA, raPA, okA, rm)
+	r.deliverOrSuspend(a, tagB, hasB, rbPA, okB, rm)
+}
+
+// deliverOrSuspend performs one delivery, suspending on PA starvation.
+func (r *Reviver) deliverOrSuspend(entry, tag uint64, has bool, headPA uint64, hasHead bool, rm remap) {
+	if len(r.pending) > 0 {
+		r.suspend(entry, tag, has, headPA, hasHead)
+		return
+	}
+	accesses, needPA := r.deliver(entry, tag, r.chainHead(headPA, hasHead, entry), rm, true, has)
+	r.st.MaintenanceAccesses += accesses
+	if needPA {
+		r.suspend(entry, tag, has, headPA, hasHead)
+	}
+}
+
+// ---- introspection for tests and invariant checking -----------------------
+
+// ShadowPA returns da's virtual shadow PA, if linked.
+func (r *Reviver) ShadowPA(da uint64) (uint64, bool) {
+	p, ok := r.ptr[da]
+	return p, ok
+}
+
+// InversePointer returns the failed DA recorded for virtual shadow PA p.
+func (r *Reviver) InversePointer(p uint64) (uint64, bool) {
+	d, ok := r.inv[p]
+	return d, ok
+}
+
+// OnLoop reports whether da sits on a PA-DA loop (its virtual shadow
+// maps straight back to it).
+func (r *Reviver) OnLoop(da uint64) bool {
+	p, ok := r.ptr[da]
+	return ok && r.lv.Map(p) == da
+}
+
+// ChainSteps returns the number of DA→PA→DA steps from da to its current
+// storage block, and whether the walk ends at a healthy block. Loops
+// report (1, false).
+func (r *Reviver) ChainSteps(da uint64) (int, bool) {
+	cur := da
+	for steps := 0; steps <= walkLimit; steps++ {
+		if !r.be.Dead(cur) {
+			return steps, true
+		}
+		p, ok := r.ptr[cur]
+		if !ok {
+			return steps, false
+		}
+		next := r.lv.Map(p)
+		if next == cur {
+			return steps + 1, false
+		}
+		cur = next
+	}
+	return walkLimit, false
+}
+
+func pcmBlock(da uint64) pcmBlockID { return pcmBlockID(da) }
+
+// SoftwareUsableFraction implements mc.SpaceReporter: the fraction of
+// pages the OS can still hand to software. WL-Reviver loses exactly one
+// page per acquisition and nothing else.
+func (r *Reviver) SoftwareUsableFraction() float64 {
+	return r.os.UsableFraction()
+}

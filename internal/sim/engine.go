@@ -1,0 +1,538 @@
+// Package sim wires the full simulated system — workload, OS model,
+// wear-leveling scheme, failure-protection framework, error correction
+// and PCM device — and drives it write by write, mirroring the paper's
+// trace-driven methodology (§IV-A). Package-level experiment presets
+// (experiments.go) regenerate every table and figure of the evaluation.
+package sim
+
+import (
+	"fmt"
+
+	"wlreviver/internal/cache"
+	"wlreviver/internal/drm"
+	"wlreviver/internal/ecc"
+	"wlreviver/internal/freep"
+	"wlreviver/internal/lls"
+	"wlreviver/internal/mc"
+	"wlreviver/internal/osmodel"
+	"wlreviver/internal/pcm"
+	"wlreviver/internal/reviver"
+	"wlreviver/internal/trace"
+	"wlreviver/internal/wear"
+)
+
+// LevelerKind selects the wear-leveling scheme.
+type LevelerKind int
+
+// Wear-leveling schemes.
+const (
+	// LevelerNone disables wear leveling (Figure 6's "ECP6"/"PAYG"
+	// baselines).
+	LevelerNone LevelerKind = iota
+	// LevelerStartGap is Start-Gap with Feistel address randomization.
+	LevelerStartGap
+	// LevelerSecurityRefresh is single- or two-level Security Refresh.
+	LevelerSecurityRefresh
+	// LevelerRegionedStartGap is the original paper's multi-region
+	// Start-Gap organisation (independent start/gap per region).
+	LevelerRegionedStartGap
+)
+
+// String returns the scheme's display name.
+func (k LevelerKind) String() string {
+	switch k {
+	case LevelerStartGap:
+		return "SG"
+	case LevelerSecurityRefresh:
+		return "SR"
+	case LevelerRegionedStartGap:
+		return "SG-R"
+	default:
+		return "none"
+	}
+}
+
+// ProtectorKind selects the failure-protection framework.
+type ProtectorKind int
+
+// Failure-protection frameworks.
+const (
+	// ProtectorNone exposes the first failure to the leveler.
+	ProtectorNone ProtectorKind = iota
+	// ProtectorWLReviver is the paper's framework.
+	ProtectorWLReviver
+	// ProtectorFREEp is the adapted FREE-p baseline (§IV-C).
+	ProtectorFREEp
+	// ProtectorLLS is the LLS baseline (§IV-D).
+	ProtectorLLS
+	// ProtectorDRM is the adapted Dynamically Replicated Memory baseline
+	// (page pairing; related work [11]).
+	ProtectorDRM
+)
+
+// String returns the framework's display name.
+func (k ProtectorKind) String() string {
+	switch k {
+	case ProtectorWLReviver:
+		return "WLR"
+	case ProtectorFREEp:
+		return "FREE-p"
+	case ProtectorLLS:
+		return "LLS"
+	case ProtectorDRM:
+		return "DRM"
+	default:
+		return "none"
+	}
+}
+
+// ECCKind selects the error-correction scheme.
+type ECCKind int
+
+// Error-correction schemes.
+const (
+	// ECCECP6 corrects up to 6 failed cells per 512-bit group.
+	ECCECP6 ECCKind = iota
+	// ECCECP1 corrects 1.
+	ECCECP1
+	// ECCPAYG is Pay-As-You-Go with the paper's default budget.
+	ECCPAYG
+)
+
+// String returns the scheme's display name.
+func (k ECCKind) String() string {
+	switch k {
+	case ECCECP1:
+		return "ECP1"
+	case ECCPAYG:
+		return "PAYG"
+	default:
+		return "ECP6"
+	}
+}
+
+// Config assembles one simulated system.
+type Config struct {
+	// Blocks is the software-visible capacity in blocks (the paper's
+	// 1 GB chip is 2^24 blocks of 64 B; defaults here are scaled).
+	Blocks uint64
+	// BlocksPerPage is the OS page size in blocks (paper: 64).
+	BlocksPerPage uint64
+	// CellsPerBlock is the ECC-group size in cells (paper: 512).
+	CellsPerBlock int
+	// MeanEndurance and LifetimeCoV parameterise cell lifetimes
+	// (paper: 1e8 and 0.2; scaled by default).
+	MeanEndurance float64
+	LifetimeCoV   float64
+	// Seed drives all stochastic components.
+	Seed uint64
+
+	// Leveler selects the wear-leveling scheme; GapWritePeriod is ψ
+	// (paper: 100). SRInnerRegions enables two-level Security Refresh.
+	Leveler        LevelerKind
+	GapWritePeriod uint64
+	SRInnerRegions uint64
+	// SGRegions is the region count for LevelerRegionedStartGap
+	// (default 4).
+	SGRegions uint64
+	// CustomLeveler, when non-nil, overrides Leveler with a user-supplied
+	// scheme — the framework revives any wear.Leveler (see
+	// examples/customleveler). Its PA space must equal Blocks.
+	CustomLeveler wear.Leveler
+
+	// Protector selects the failure-protection framework.
+	Protector ProtectorKind
+	// FreepReserveFraction is FREE-p's pre-reserved share (0–0.15).
+	FreepReserveFraction float64
+	// FreepZombiePairing selects the Zombie variant of the adapted
+	// page-recovery baseline (pair coding between failed and spare
+	// blocks).
+	FreepZombiePairing bool
+	// LLSChunkPages and LLSSalvageGroups parameterise LLS; the backup
+	// region is sized at LLSBackupFraction of capacity (default 0.5).
+	LLSChunkPages     uint64
+	LLSSalvageGroups  uint64
+	LLSBackupFraction float64
+
+	// ECC selects the error-correction scheme.
+	ECC ECCKind
+	// CacheKB configures the remap cache (Table II uses 32); 0 disables.
+	CacheKB int
+	// TrackContent enables data-integrity tags (tests; slows the run).
+	TrackContent bool
+	// DisableChainReduction is the reviver chain-switching ablation knob.
+	DisableChainReduction bool
+	// ImmediateAcquisition is the reviver acquisition-policy ablation
+	// knob (§III-A option 1 instead of the paper's option 2).
+	ImmediateAcquisition bool
+	// RevPointerBytes overrides the reviver's stored PA pointer size
+	// (default 4), which sets the inverse-pointer section split.
+	RevPointerBytes int
+}
+
+// DefaultConfig returns the scaled default geometry: 2^16 blocks (4 MiB),
+// 4 KB pages, endurance 10^4, ψ=100, Start-Gap + WL-Reviver + ECP6.
+func DefaultConfig() Config {
+	return Config{
+		Blocks:           1 << 16,
+		BlocksPerPage:    64,
+		CellsPerBlock:    512,
+		MeanEndurance:    1e4,
+		LifetimeCoV:      0.2,
+		Seed:             1,
+		Leveler:          LevelerStartGap,
+		GapWritePeriod:   100,
+		Protector:        ProtectorWLReviver,
+		ECC:              ECCECP6,
+		LLSChunkPages:    16,
+		LLSSalvageGroups: 8,
+	}
+}
+
+// Engine drives one configured system.
+type Engine struct {
+	cfg  Config
+	dev  *pcm.Device
+	be   *mc.Backend
+	lv   wear.Leveler
+	os   *osmodel.Model
+	prot mc.Protector
+	gen  trace.Generator
+
+	writes  uint64
+	stopped bool
+}
+
+// NewEngine builds the system and attaches the workload generator, whose
+// block space must match cfg.Blocks.
+func NewEngine(cfg Config, gen trace.Generator) (*Engine, error) {
+	if cfg.Blocks == 0 || cfg.BlocksPerPage == 0 {
+		return nil, fmt.Errorf("sim: Blocks and BlocksPerPage must be positive")
+	}
+	if gen.NumBlocks() != cfg.Blocks {
+		return nil, fmt.Errorf("sim: workload covers %d blocks, system has %d", gen.NumBlocks(), cfg.Blocks)
+	}
+
+	var remapCache *cache.Cache
+	if cfg.CacheKB > 0 {
+		cc, err := cache.SizedConfig(cfg.CacheKB*1024, 8, 8)
+		if err != nil {
+			return nil, err
+		}
+		remapCache, err = cache.New(cc)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Wear-leveling scheme (LLS substitutes its restricted randomizer).
+	var lv wear.Leveler
+	if cfg.CustomLeveler != nil {
+		if cfg.CustomLeveler.NumPAs() != cfg.Blocks {
+			return nil, fmt.Errorf("sim: custom leveler covers %d PAs, system has %d blocks",
+				cfg.CustomLeveler.NumPAs(), cfg.Blocks)
+		}
+		lv = cfg.CustomLeveler
+	}
+	if lv == nil {
+		switch cfg.Leveler {
+		case LevelerStartGap:
+			sgCfg := wear.StartGapConfig{
+				NumPAs:         cfg.Blocks,
+				GapWritePeriod: cfg.GapWritePeriod,
+				Seed:           cfg.Seed,
+			}
+			if cfg.Protector == ProtectorLLS {
+				rnd, err := lls.NewRestrictedRandomizer(cfg.Blocks, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				sgCfg.Randomizer = rnd
+			}
+			sg, err := wear.NewStartGap(sgCfg)
+			if err != nil {
+				return nil, err
+			}
+			lv = sg
+		case LevelerSecurityRefresh:
+			sr, err := wear.NewSecurityRefresh(wear.SecurityRefreshConfig{
+				NumPAs:           cfg.Blocks,
+				InnerRegions:     cfg.SRInnerRegions,
+				OuterWritePeriod: cfg.GapWritePeriod,
+				InnerWritePeriod: cfg.GapWritePeriod,
+				Seed:             cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			lv = sr
+		case LevelerRegionedStartGap:
+			regions := cfg.SGRegions
+			if regions == 0 {
+				regions = 4
+			}
+			rsg, err := wear.NewRegionedStartGap(wear.RegionedStartGapConfig{
+				NumPAs:         cfg.Blocks,
+				Regions:        regions,
+				GapWritePeriod: cfg.GapWritePeriod,
+				Seed:           cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			lv = rsg
+		case LevelerNone:
+			lv = wear.Static{Size: cfg.Blocks}
+		default:
+			return nil, fmt.Errorf("sim: unknown leveler %d", cfg.Leveler)
+		}
+	}
+
+	// Extra device blocks beyond the leveler's DA space.
+	extra := uint64(0)
+	switch cfg.Protector {
+	case ProtectorFREEp:
+		extra = freep.ReservedSlots(cfg.Blocks, cfg.FreepReserveFraction)
+	case ProtectorDRM:
+		extra = drm.ReservedBlocks(cfg.Blocks, cfg.FreepReserveFraction, cfg.BlocksPerPage)
+	case ProtectorLLS:
+		backupFrac := cfg.LLSBackupFraction
+		if backupFrac == 0 {
+			backupFrac = 0.5
+		}
+		chunkBlocks := cfg.LLSChunkPages * cfg.BlocksPerPage
+		extra = uint64(float64(cfg.Blocks) * backupFrac)
+		extra = (extra + chunkBlocks - 1) / chunkBlocks * chunkBlocks
+	}
+
+	dev, err := pcm.NewDevice(pcm.Config{
+		NumBlocks:     lv.NumDAs() + extra,
+		BlockBytes:    64,
+		CellsPerBlock: cfg.CellsPerBlock,
+		MeanEndurance: cfg.MeanEndurance,
+		LifetimeCoV:   cfg.LifetimeCoV,
+		Seed:          cfg.Seed,
+		TrackContent:  cfg.TrackContent,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var scheme ecc.Scheme
+	switch cfg.ECC {
+	case ECCECP6:
+		scheme, err = ecc.NewECP(6, dev.NumBlocks())
+	case ECCECP1:
+		scheme, err = ecc.NewECP(1, dev.NumBlocks())
+	case ECCPAYG:
+		scheme, err = ecc.NewPAYG(ecc.DefaultPAYGConfig(dev.NumBlocks()), dev.NumBlocks())
+	default:
+		err = fmt.Errorf("sim: unknown ECC %d", cfg.ECC)
+	}
+	if err != nil {
+		return nil, err
+	}
+	be := &mc.Backend{Dev: dev, ECC: scheme}
+
+	osm, err := osmodel.New(cfg.Blocks, cfg.BlocksPerPage)
+	if err != nil {
+		return nil, err
+	}
+
+	var prot mc.Protector
+	switch cfg.Protector {
+	case ProtectorNone:
+		prot = mc.NewPassthrough(lv, be, osm)
+	case ProtectorWLReviver:
+		prot, err = reviver.New(reviver.Config{
+			PointerBytes:          cfg.RevPointerBytes,
+			RemapCache:            remapCache,
+			DisableChainReduction: cfg.DisableChainReduction,
+			ImmediateAcquisition:  cfg.ImmediateAcquisition,
+		}, lv, be, osm)
+	case ProtectorFREEp:
+		prot, err = freep.New(freep.Config{
+			ReserveFraction: cfg.FreepReserveFraction,
+			RemapCache:      remapCache,
+			ZombiePairing:   cfg.FreepZombiePairing,
+		}, lv, be, osm)
+	case ProtectorLLS:
+		prot, err = lls.New(lls.Config{
+			ChunkPages:    cfg.LLSChunkPages,
+			SalvageGroups: cfg.LLSSalvageGroups,
+			RemapCache:    remapCache,
+		}, lv, be, osm)
+	case ProtectorDRM:
+		prot, err = drm.New(drm.Config{
+			ReserveFraction: cfg.FreepReserveFraction,
+			RemapCache:      remapCache,
+		}, lv, be, osm)
+	default:
+		err = fmt.Errorf("sim: unknown protector %d", cfg.Protector)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	return &Engine{cfg: cfg, dev: dev, be: be, lv: lv, os: osm, prot: prot, gen: gen}, nil
+}
+
+// Step services one software write from the workload. It returns false
+// when the memory can no longer accept writes (no usable pages, or the
+// protector is terminally out of capacity).
+func (e *Engine) Step() bool {
+	if e.stopped {
+		return false
+	}
+	return e.WriteTagged(e.gen.Next(), e.writes)
+}
+
+// Run services up to n writes, invoking onWrite (if non-nil) after each.
+// It returns the number of writes actually serviced.
+func (e *Engine) Run(n uint64, onWrite func(done uint64)) uint64 {
+	var done uint64
+	for done < n {
+		if !e.Step() {
+			break
+		}
+		done++
+		if onWrite != nil {
+			onWrite(done)
+		}
+	}
+	return done
+}
+
+// Writes returns the number of software writes serviced.
+func (e *Engine) Writes() uint64 { return e.writes }
+
+// WritesPerBlock returns writes normalised by capacity — the scale-free
+// x-axis used in EXPERIMENTS.md.
+func (e *Engine) WritesPerBlock() float64 {
+	return float64(e.writes) / float64(e.cfg.Blocks)
+}
+
+// SurvivalRate returns the fraction of device blocks not declared dead
+// (Figure 6's y-axis).
+func (e *Engine) SurvivalRate() float64 { return e.dev.SurvivalRate() }
+
+// UsableFraction returns the protector's software-usable capacity
+// fraction (Figures 7–8, Table II).
+func (e *Engine) UsableFraction() float64 {
+	if sr, ok := e.prot.(mc.SpaceReporter); ok {
+		return sr.SoftwareUsableFraction()
+	}
+	return e.os.UsableFraction()
+}
+
+// Crippled reports whether wear leveling has ceased to function.
+func (e *Engine) Crippled() bool {
+	if c, ok := e.prot.(mc.Crippler); ok {
+		return c.Crippled()
+	}
+	return false
+}
+
+// Stopped reports whether the memory reached end of life.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Device exposes the device for metric collection.
+func (e *Engine) Device() *pcm.Device { return e.dev }
+
+// OS exposes the OS model.
+func (e *Engine) OS() *osmodel.Model { return e.os }
+
+// Protector exposes the protection framework.
+func (e *Engine) Protector() mc.Protector { return e.prot }
+
+// Leveler exposes the wear-leveling scheme.
+func (e *Engine) Leveler() wear.Leveler { return e.lv }
+
+// Reviver returns the WL-Reviver instance, if configured.
+func (e *Engine) Reviver() (*reviver.Reviver, bool) {
+	r, ok := e.prot.(*reviver.Reviver)
+	return r, ok
+}
+
+// AccessRatio returns raw PCM accesses per software request where the
+// protector tracks it (Table II's access-time metric), else 0.
+func (e *Engine) AccessRatio() float64 {
+	switch p := e.prot.(type) {
+	case *reviver.Reviver:
+		st := p.Stats()
+		if n := st.SoftwareWrites + st.SoftwareReads; n > 0 {
+			return float64(st.RequestAccesses) / float64(n)
+		}
+	case *lls.LLS:
+		st := p.Stats()
+		if n := st.SoftwareWrites + st.SoftwareReads; n > 0 {
+			return float64(st.RequestAccesses) / float64(n)
+		}
+	case *freep.FREEp:
+		st := p.Stats()
+		if n := st.SoftwareWrites + st.SoftwareReads; n > 0 {
+			return float64(st.RequestAccesses) / float64(n)
+		}
+	case *drm.DRM:
+		st := p.Stats()
+		if n := st.SoftwareWrites + st.SoftwareReads; n > 0 {
+			return float64(st.RequestAccesses) / float64(n)
+		}
+	case *mc.Passthrough:
+		return p.RequestAccessRatio()
+	}
+	return 0
+}
+
+// Read services one software read of a virtual block, returning the
+// logical content tag (meaningful when TrackContent is on) and whether
+// the address was readable. Reads do not pace wear leveling (the
+// schemes schedule on writes) but do traverse the same failure
+// redirection, so they contribute to the access-ratio metrics.
+func (e *Engine) Read(vblock uint64) (uint64, bool) {
+	pa, ok := e.os.Translate(vblock)
+	if !ok {
+		return 0, false
+	}
+	tag, _ := e.prot.Read(pa)
+	return tag, true
+}
+
+// WriteTagged services one software write of an explicit content tag to
+// a virtual block: translate, write through the protector, retry at the
+// fresh translation after a reported failure, resume suspended
+// wear-leveling work, then pace the leveler (unless crippled — for LLS,
+// running out of reservable capacity is terminal, ending the Figure 8
+// comparison). It returns false when the memory can no longer accept
+// writes.
+func (e *Engine) WriteTagged(vblock, tag uint64) bool {
+	if e.stopped {
+		return false
+	}
+	maxRetry := int(e.os.NumPages()) + 2
+	var pa uint64
+	for attempt := 0; ; attempt++ {
+		if attempt > maxRetry {
+			e.stopped = true
+			return false
+		}
+		var ok bool
+		pa, ok = e.os.Translate(vblock)
+		if !ok {
+			e.stopped = true
+			return false
+		}
+		res := e.prot.Write(pa, tag)
+		if !res.Retry {
+			break
+		}
+	}
+	e.writes++
+	e.prot.ResumePending()
+	if c, ok := e.prot.(mc.Crippler); !ok || !c.Crippled() {
+		e.lv.NoteWrite(pa, e.prot)
+	} else if e.cfg.Protector == ProtectorLLS {
+		e.stopped = true
+	}
+	return true
+}

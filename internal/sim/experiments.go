@@ -1,0 +1,516 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"wlreviver/internal/freep"
+	"wlreviver/internal/lls"
+	"wlreviver/internal/mc"
+	"wlreviver/internal/reviver"
+	"wlreviver/internal/stats"
+	"wlreviver/internal/trace"
+)
+
+// Scale groups the geometry knobs every experiment shares, so the same
+// experiment code runs at test, bench and paper scale. See DESIGN.md §1
+// for why geometric scaling preserves the paper's result shapes.
+type Scale struct {
+	// Blocks is the software capacity in 64 B blocks.
+	Blocks uint64
+	// BlocksPerPage is the OS page size in blocks.
+	BlocksPerPage uint64
+	// MeanEndurance is the mean cell lifetime in writes.
+	MeanEndurance float64
+	// GapWritePeriod is ψ, the writes per wear-leveling operation.
+	GapWritePeriod uint64
+	// Seed drives all randomness.
+	Seed uint64
+	// MaxWritesPerBlock bounds each run (in writes per block of
+	// capacity); runs also end at their survival/usable floors.
+	MaxWritesPerBlock float64
+}
+
+// TinyScale is for unit tests: a 64 KiB chip.
+func TinyScale() Scale {
+	return Scale{
+		Blocks: 1 << 10, BlocksPerPage: 16, MeanEndurance: 600,
+		GapWritePeriod: 20, Seed: 42, MaxWritesPerBlock: 1500,
+	}
+}
+
+// BenchScale is for the benchmark harness: a 512 KiB chip.
+func BenchScale() Scale {
+	return Scale{
+		Blocks: 1 << 13, BlocksPerPage: 32, MeanEndurance: 2500,
+		GapWritePeriod: 50, Seed: 42, MaxWritesPerBlock: 6000,
+	}
+}
+
+// PaperScale approaches the paper's setup as closely as is tractable on
+// one core: a 4 MiB chip with 10^4 endurance, 4 KB pages, ψ=100.
+func PaperScale() Scale {
+	return Scale{
+		Blocks: 1 << 16, BlocksPerPage: 64, MeanEndurance: 1e4,
+		GapWritePeriod: 100, Seed: 42, MaxWritesPerBlock: 25000,
+	}
+}
+
+// config derives an engine Config from the scale. LLS's chunk is sized
+// at 1/16 of capacity, the paper's 64 MB : 1 GB proportion.
+func (s Scale) config() Config {
+	cfg := DefaultConfig()
+	cfg.Blocks = s.Blocks
+	cfg.BlocksPerPage = s.BlocksPerPage
+	cfg.MeanEndurance = s.MeanEndurance
+	cfg.GapWritePeriod = s.GapWritePeriod
+	cfg.Seed = s.Seed
+	cfg.LLSChunkPages = s.Blocks / 16 / s.BlocksPerPage
+	if cfg.LLSChunkPages == 0 {
+		cfg.LLSChunkPages = 1
+	}
+	return cfg
+}
+
+// maxWrites returns the run budget in writes.
+func (s Scale) maxWrites() uint64 {
+	return uint64(s.MaxWritesPerBlock * float64(s.Blocks))
+}
+
+// benchmarkGen builds the synthetic stand-in for a Table I benchmark.
+func (s Scale) benchmarkGen(name string) (*trace.Weighted, error) {
+	return trace.NewBenchmark(name, s.Blocks, s.BlocksPerPage, s.Seed)
+}
+
+// ---- shared runners --------------------------------------------------------
+
+// checkEvery is how many writes pass between stop-condition checks and
+// curve samples; coarse enough to keep the hot loop tight.
+const checkEvery = 1 << 10
+
+// runCurve drives an engine until metric() falls to floor or the budget
+// runs out, sampling (writes/block, metric) along the way.
+func runCurve(e *Engine, name string, metric func(*Engine) float64, floor float64, maxWrites uint64) stats.Curve {
+	curve := stats.Curve{Name: name}
+	curve.Append(0, metric(e))
+	for e.Writes() < maxWrites {
+		for i := 0; i < checkEvery; i++ {
+			if !e.Step() {
+				curve.Append(e.WritesPerBlock(), metric(e))
+				return curve
+			}
+		}
+		m := metric(e)
+		curve.Append(e.WritesPerBlock(), m)
+		if m <= floor {
+			break
+		}
+	}
+	return curve
+}
+
+// survival reads the survival-rate metric.
+func survival(e *Engine) float64 { return e.SurvivalRate() }
+
+// usable reads the software-usable-space metric.
+func usable(e *Engine) float64 { return e.UsableFraction() }
+
+// ---- Table I ---------------------------------------------------------------
+
+// Table1Row reports one benchmark's calibration.
+type Table1Row struct {
+	Name        string
+	Suite       string
+	Description string
+	PaperCoV    float64
+	MeasuredCoV float64
+}
+
+// Table1Result reproduces Table I: the benchmarks and their write CoVs,
+// with the synthetic generators' measured CoVs alongside the paper's.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 measures each synthetic benchmark generator's write CoV.
+func Table1(s Scale) (*Table1Result, error) {
+	res := &Table1Result{}
+	for _, spec := range trace.Benchmarks {
+		g, err := s.benchmarkGen(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		measured := trace.MeasureCoV(g, 64*s.Blocks)
+		res.Rows = append(res.Rows, Table1Row{
+			Name: spec.Name, Suite: spec.Suite, Description: spec.Description,
+			PaperCoV: spec.WriteCoV, MeasuredCoV: measured,
+		})
+	}
+	return res, nil
+}
+
+// String formats the table.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — benchmark write CoVs (paper vs synthetic stand-in)\n")
+	fmt.Fprintf(&b, "%-15s %-10s %10s %12s\n", "Name", "Suite", "Paper CoV", "Measured")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-15s %-10s %10.2f %12.2f\n", row.Name, row.Suite, row.PaperCoV, row.MeasuredCoV)
+	}
+	return b.String()
+}
+
+// ---- Figure 5 ----------------------------------------------------------------
+
+// Fig5Row is one benchmark's lifetime with and without WL-Reviver.
+type Fig5Row struct {
+	Benchmark string
+	CoV       float64
+	// Lifetimes are writes-per-block of capacity until 30% of blocks
+	// failed (the paper's unavailability point).
+	LifetimeNoWLR float64
+	LifetimeWLR   float64
+	// ImprovementPct is the WLR gain (paper reports 36%–325%).
+	ImprovementPct float64
+}
+
+// Fig5Result reproduces Figure 5.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Fig5 measures each benchmark's lifetime under ECP6 + Start-Gap, with
+// and without WL-Reviver. Lifetime is writes until 30% of the memory's
+// capacity is lost (§IV-B: "an entire memory is considered unavailable
+// when it loses 30% of its space"): dead blocks cost a page each without
+// a revival framework, and one page per ~15 hidden failures with
+// WL-Reviver, so the metric tracks the paper's block-failure lifetime
+// while staying well-defined across both OS behaviours.
+func Fig5(s Scale) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	for _, spec := range trace.Benchmarks {
+		row := Fig5Row{Benchmark: spec.Name, CoV: spec.WriteCoV}
+		for _, withWLR := range []bool{false, true} {
+			gen, err := s.benchmarkGen(spec.Name)
+			if err != nil {
+				return nil, err
+			}
+			cfg := s.config()
+			if withWLR {
+				cfg.Protector = ProtectorWLReviver
+			} else {
+				cfg.Protector = ProtectorNone
+			}
+			e, err := NewEngine(cfg, gen)
+			if err != nil {
+				return nil, err
+			}
+			curve := runCurve(e, spec.Name, survival, 0.70, s.maxWrites())
+			life := curve.Points[len(curve.Points)-1].X
+			if withWLR {
+				row.LifetimeWLR = life
+			} else {
+				row.LifetimeNoWLR = life
+			}
+		}
+		if row.LifetimeNoWLR > 0 {
+			row.ImprovementPct = 100 * (row.LifetimeWLR - row.LifetimeNoWLR) / row.LifetimeNoWLR
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String formats the figure's data as a table.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — writes (per block) to fail 30%% of blocks, ECP6 + Start-Gap\n")
+	fmt.Fprintf(&b, "%-15s %8s %14s %14s %9s\n", "Benchmark", "CoV", "ECP6-SG", "ECP6-SG-WLR", "Gain")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-15s %8.2f %14.1f %14.1f %8.0f%%\n",
+			row.Benchmark, row.CoV, row.LifetimeNoWLR, row.LifetimeWLR, row.ImprovementPct)
+	}
+	return b.String()
+}
+
+// ---- Figure 6 ----------------------------------------------------------------
+
+// Fig6Result reproduces Figure 6: survival-rate curves for one benchmark
+// under six configurations.
+type Fig6Result struct {
+	Workload string
+	Curves   []stats.Curve
+}
+
+// Fig6 produces capacity-survival curves (down to 70%) for ECP6/PAYG,
+// each bare, with Start-Gap, and with Start-Gap + WL-Reviver. The paper
+// plots block survival; with the OS retirement cascade modelled, the
+// equivalent decay is expressed in usable capacity (EXPERIMENTS.md
+// discusses the correspondence).
+func Fig6(s Scale, workload string) (*Fig6Result, error) {
+	type variant struct {
+		name  string
+		ecc   ECCKind
+		level LevelerKind
+		prot  ProtectorKind
+	}
+	variants := []variant{
+		{"ECP6", ECCECP6, LevelerNone, ProtectorNone},
+		{"PAYG", ECCPAYG, LevelerNone, ProtectorNone},
+		{"ECP6-SG", ECCECP6, LevelerStartGap, ProtectorNone},
+		{"PAYG-SG", ECCPAYG, LevelerStartGap, ProtectorNone},
+		{"ECP6-SG-WLR", ECCECP6, LevelerStartGap, ProtectorWLReviver},
+		{"PAYG-SG-WLR", ECCPAYG, LevelerStartGap, ProtectorWLReviver},
+	}
+	res := &Fig6Result{Workload: workload}
+	for _, v := range variants {
+		gen, err := s.benchmarkGen(workload)
+		if err != nil {
+			return nil, err
+		}
+		cfg := s.config()
+		cfg.ECC = v.ecc
+		cfg.Leveler = v.level
+		cfg.Protector = v.prot
+		e, err := NewEngine(cfg, gen)
+		if err != nil {
+			return nil, err
+		}
+		res.Curves = append(res.Curves, runCurve(e, v.name, usable, 0.70, s.maxWrites()))
+	}
+	return res, nil
+}
+
+// String formats the curves as a column table sampled at common points.
+func (r *Fig6Result) String() string {
+	return formatCurves(fmt.Sprintf("Figure 6 — surviving capacity vs writes/block (%s)", r.Workload), r.Curves)
+}
+
+// ---- Figure 7 ----------------------------------------------------------------
+
+// Fig7Result reproduces Figure 7: user-usable space curves for
+// WL-Reviver vs FREE-p with 0/5/10/15% pre-reservation.
+type Fig7Result struct {
+	Workload string
+	Curves   []stats.Curve
+}
+
+// Fig7 produces the usable-space comparison under ECP6 + Start-Gap.
+func Fig7(s Scale, workload string) (*Fig7Result, error) {
+	res := &Fig7Result{Workload: workload}
+	mk := func(name string, prot ProtectorKind, reserve float64) error {
+		gen, err := s.benchmarkGen(workload)
+		if err != nil {
+			return err
+		}
+		cfg := s.config()
+		cfg.Protector = prot
+		cfg.FreepReserveFraction = reserve
+		e, err := NewEngine(cfg, gen)
+		if err != nil {
+			return err
+		}
+		res.Curves = append(res.Curves, runCurve(e, name, usable, 0.50, s.maxWrites()))
+		return nil
+	}
+	if err := mk("WL-Reviver", ProtectorWLReviver, 0); err != nil {
+		return nil, err
+	}
+	for _, pct := range []float64{0, 0.05, 0.10, 0.15} {
+		if err := mk(fmt.Sprintf("FREE-p(%.0f%%)", pct*100), ProtectorFREEp, pct); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// String formats the curves.
+func (r *Fig7Result) String() string {
+	return formatCurves(fmt.Sprintf("Figure 7 — user-usable space vs writes/block (%s), ECP6+SG", r.Workload), r.Curves)
+}
+
+// ---- Figure 8 ----------------------------------------------------------------
+
+// Fig8Result reproduces Figure 8: software-usable space, WL-Reviver vs
+// LLS.
+type Fig8Result struct {
+	Workload string
+	Curves   []stats.Curve
+}
+
+// Fig8 produces the WLR-vs-LLS usable-space comparison.
+func Fig8(s Scale, workload string) (*Fig8Result, error) {
+	res := &Fig8Result{Workload: workload}
+	for _, v := range []struct {
+		name string
+		prot ProtectorKind
+	}{{"WL-Reviver", ProtectorWLReviver}, {"LLS", ProtectorLLS}} {
+		gen, err := s.benchmarkGen(workload)
+		if err != nil {
+			return nil, err
+		}
+		cfg := s.config()
+		cfg.Protector = v.prot
+		e, err := NewEngine(cfg, gen)
+		if err != nil {
+			return nil, err
+		}
+		res.Curves = append(res.Curves, runCurve(e, v.name, usable, 0.50, s.maxWrites()))
+	}
+	return res, nil
+}
+
+// String formats the curves.
+func (r *Fig8Result) String() string {
+	return formatCurves(fmt.Sprintf("Figure 8 — software-usable space vs writes/block (%s), ECP6+SG", r.Workload), r.Curves)
+}
+
+// ---- Table II ----------------------------------------------------------------
+
+// Table2Cell is one (scheme, workload, failure-ratio) measurement.
+type Table2Cell struct {
+	FailureRatio float64
+	Scheme       string
+	Workload     string
+	// AccessTime is raw PCM accesses per software request, measured over
+	// the window since the previous failure-ratio threshold (paper
+	// reports 1.001–1.020 with the 32 KB cache).
+	AccessTime float64
+	// UsableSpacePct is the software-usable capacity at the threshold.
+	UsableSpacePct float64
+	// Reached reports whether the run got to this failure ratio within
+	// budget.
+	Reached bool
+}
+
+// Table2Result reproduces Table II.
+type Table2Result struct {
+	Cells []Table2Cell
+}
+
+// requestCounts pulls cumulative (requests, accesses) from a protector.
+func requestCounts(p mc.Protector) (uint64, uint64) {
+	switch t := p.(type) {
+	case *reviver.Reviver:
+		st := t.Stats()
+		return st.SoftwareWrites + st.SoftwareReads, st.RequestAccesses
+	case *lls.LLS:
+		st := t.Stats()
+		return st.SoftwareWrites + st.SoftwareReads, st.RequestAccesses
+	case *freep.FREEp:
+		st := t.Stats()
+		return st.SoftwareWrites + st.SoftwareReads, st.RequestAccesses
+	}
+	return 0, 0
+}
+
+// Table2 measures average access time (32 KB remap cache) and software-
+// usable space at 10/20/30% failed blocks, for LLS and WL-Reviver on the
+// given workloads.
+func Table2(s Scale, workloads []string) (*Table2Result, error) {
+	ratios := []float64{0.10, 0.20, 0.30}
+	res := &Table2Result{}
+	for _, v := range []struct {
+		name string
+		prot ProtectorKind
+	}{{"LLS", ProtectorLLS}, {"WL-Reviver", ProtectorWLReviver}} {
+		for _, w := range workloads {
+			gen, err := s.benchmarkGen(w)
+			if err != nil {
+				return nil, err
+			}
+			cfg := s.config()
+			cfg.Protector = v.prot
+			cfg.CacheKB = 32
+			e, err := NewEngine(cfg, gen)
+			if err != nil {
+				return nil, err
+			}
+			var prevReq, prevAcc uint64
+			budget := s.maxWrites()
+			for _, ratio := range ratios {
+				reached := true
+				for float64(e.Device().DeadBlocks())/float64(e.Device().NumBlocks()) < ratio {
+					advanced := false
+					for i := 0; i < checkEvery; i++ {
+						if !e.Step() {
+							break
+						}
+						advanced = true
+					}
+					if !advanced || e.Writes() >= budget {
+						reached = false
+						break
+					}
+				}
+				req, acc := requestCounts(e.Protector())
+				cell := Table2Cell{
+					FailureRatio: ratio, Scheme: v.name, Workload: w,
+					UsableSpacePct: 100 * e.UsableFraction(), Reached: reached,
+				}
+				if req > prevReq {
+					cell.AccessTime = float64(acc-prevAcc) / float64(req-prevReq)
+				}
+				prevReq, prevAcc = req, acc
+				res.Cells = append(res.Cells, cell)
+				if !reached {
+					break
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// String formats the table like the paper's Table II.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — avg access time (PCM accesses/request, 32KB cache) and software-usable space\n")
+	fmt.Fprintf(&b, "%-8s %-12s %-14s %12s %14s\n", "Failure", "Scheme", "Workload", "AccessTime", "UsableSpace%")
+	for _, c := range r.Cells {
+		mark := ""
+		if !c.Reached {
+			mark = " (not reached)"
+		}
+		fmt.Fprintf(&b, "%6.0f%% %-12s %-14s %12.3f %13.1f%%%s\n",
+			c.FailureRatio*100, c.Scheme, c.Workload, c.AccessTime, c.UsableSpacePct, mark)
+	}
+	return b.String()
+}
+
+// ---- shared formatting -------------------------------------------------------
+
+// formatCurves renders a curve family as an aligned table over the union
+// of sampled X positions (subsampled to at most 16 rows).
+func formatCurves(title string, curves []stats.Curve) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%14s", "writes/block")
+	maxX := 0.0
+	for _, c := range curves {
+		fmt.Fprintf(&b, " %14s", c.Name)
+		if n := len(c.Points); n > 0 && c.Points[n-1].X > maxX {
+			maxX = c.Points[n-1].X
+		}
+	}
+	fmt.Fprintln(&b)
+	const rows = 16
+	for i := 0; i <= rows; i++ {
+		x := maxX * float64(i) / rows
+		fmt.Fprintf(&b, "%14.1f", x)
+		for _, c := range curves {
+			fmt.Fprintf(&b, " %14.4f", c.YAt(x))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// CurveData exposes the plottable series for CSV export.
+func (r *Fig6Result) CurveData() (string, []stats.Curve) { return r.Workload, r.Curves }
+
+// CurveData exposes the plottable series for CSV export.
+func (r *Fig7Result) CurveData() (string, []stats.Curve) { return r.Workload, r.Curves }
+
+// CurveData exposes the plottable series for CSV export.
+func (r *Fig8Result) CurveData() (string, []stats.Curve) { return r.Workload, r.Curves }

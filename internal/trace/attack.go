@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+
+	"wlreviver/internal/rng"
+)
+
+// Hammer is the simplest malicious wear-out attack: it cycles writes over
+// a small fixed set of addresses forever. Without wear leveling it
+// destroys the targeted blocks in MeanEndurance writes.
+type Hammer struct {
+	n     uint64
+	addrs []uint64
+	pos   int
+}
+
+// NewHammer builds a hammer attack over the given target addresses within
+// an n-block space.
+func NewHammer(n uint64, targets []uint64) (*Hammer, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("trace: NumBlocks must be positive")
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("trace: hammer needs at least one target")
+	}
+	for _, a := range targets {
+		if a >= n {
+			return nil, fmt.Errorf("trace: hammer target %d outside space [0,%d)", a, n)
+		}
+	}
+	addrs := make([]uint64, len(targets))
+	copy(addrs, targets)
+	return &Hammer{n: n, addrs: addrs}, nil
+}
+
+// Name implements Generator.
+func (h *Hammer) Name() string { return fmt.Sprintf("hammer-%d", len(h.addrs)) }
+
+// NumBlocks implements Generator.
+func (h *Hammer) NumBlocks() uint64 { return h.n }
+
+// Next implements Generator.
+func (h *Hammer) Next() uint64 {
+	a := h.addrs[h.pos]
+	h.pos++
+	if h.pos == len(h.addrs) {
+		h.pos = 0
+	}
+	return a
+}
+
+// BirthdayParadox implements Seznec's birthday-paradox attack on
+// randomized wear leveling: the attacker repeatedly hammers a freshly
+// chosen random set of addresses for a burst, betting that within a burst
+// the remapping has not yet rotated the hot lines away. Reference [19] of
+// the paper.
+type BirthdayParadox struct {
+	n       uint64
+	setSize int
+	burst   uint64
+	src     *rng.Source
+	set     []uint64
+	left    uint64
+	pos     int
+}
+
+// NewBirthdayParadox builds the attack: setSize random addresses are
+// hammered round-robin for burst writes, then a new set is drawn.
+func NewBirthdayParadox(n uint64, setSize int, burst uint64, seed uint64) (*BirthdayParadox, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("trace: NumBlocks must be positive")
+	}
+	if setSize <= 0 || uint64(setSize) > n {
+		return nil, fmt.Errorf("trace: set size %d invalid for %d blocks", setSize, n)
+	}
+	if burst == 0 {
+		return nil, fmt.Errorf("trace: burst must be positive")
+	}
+	return &BirthdayParadox{
+		n:       n,
+		setSize: setSize,
+		burst:   burst,
+		src:     rng.New(seed ^ 0xB17DA7),
+		set:     make([]uint64, setSize),
+	}, nil
+}
+
+// Name implements Generator.
+func (b *BirthdayParadox) Name() string {
+	return fmt.Sprintf("birthday-%d@%d", b.setSize, b.burst)
+}
+
+// NumBlocks implements Generator.
+func (b *BirthdayParadox) NumBlocks() uint64 { return b.n }
+
+// Next implements Generator.
+func (b *BirthdayParadox) Next() uint64 {
+	if b.left == 0 {
+		for i := range b.set {
+			b.set[i] = b.src.Uint64n(b.n)
+		}
+		b.left = b.burst
+		b.pos = 0
+	}
+	b.left--
+	a := b.set[b.pos]
+	b.pos++
+	if b.pos == len(b.set) {
+		b.pos = 0
+	}
+	return a
+}
+
+// verify interface compliance.
+var (
+	_ Generator = (*Weighted)(nil)
+	_ Generator = (*Uniform)(nil)
+	_ Generator = (*Hammer)(nil)
+	_ Generator = (*BirthdayParadox)(nil)
+)

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BenchmarkSpec describes one of the paper's Table I workloads.
+type BenchmarkSpec struct {
+	// Name is the benchmark's program name (e.g. "mg", "ocean").
+	Name string
+	// Suite is the benchmark suite it comes from.
+	Suite string
+	// Description summarises the program, as in Table I.
+	Description string
+	// WriteCoV is the coefficient of variation of its per-block write
+	// counts reported in Table I; the synthetic generator is calibrated
+	// to reproduce it.
+	WriteCoV float64
+}
+
+// Benchmarks reproduces the paper's Table I: the eight programs and
+// their write CoVs.
+var Benchmarks = []BenchmarkSpec{
+	{Name: "blackscholes", Suite: "PARSEC", Description: "Option pricing", WriteCoV: 8.88},
+	{Name: "streamcluster", Suite: "PARSEC", Description: "Online clustering of an input stream", WriteCoV: 11.30},
+	{Name: "swaptions", Suite: "PARSEC", Description: "Pricing of a portfolio of swaptions", WriteCoV: 13.17},
+	{Name: "mg", Suite: "NPB", Description: "Multi-Grid on communication", WriteCoV: 40.87},
+	{Name: "fft", Suite: "SPLASH-2", Description: "fast fourier transform", WriteCoV: 13.87},
+	{Name: "ocean", Suite: "SPLASH-2", Description: "large-scale ocean movements", WriteCoV: 4.15},
+	{Name: "radix", Suite: "SPLASH-2", Description: "integer radix sort", WriteCoV: 5.54},
+	{Name: "water-spatial", Suite: "SPLASH-2", Description: "molecular dynamics N-body problem", WriteCoV: 5.44},
+}
+
+// BenchmarkNames returns the benchmark names in Table I order.
+func BenchmarkNames() []string {
+	names := make([]string, len(Benchmarks))
+	for i, b := range Benchmarks {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// LookupBenchmark returns the spec for a named benchmark.
+func LookupBenchmark(name string) (BenchmarkSpec, error) {
+	for _, b := range Benchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	known := BenchmarkNames()
+	sort.Strings(known)
+	return BenchmarkSpec{}, fmt.Errorf("trace: unknown benchmark %q (known: %v)", name, known)
+}
+
+// NewBenchmark builds the synthetic stand-in for a Table I benchmark over
+// numBlocks blocks with page-correlated weights (pageBlocks blocks per
+// page). See DESIGN.md for why CoV calibration preserves the paper's
+// analysis.
+func NewBenchmark(name string, numBlocks, pageBlocks, seed uint64) (*Weighted, error) {
+	spec, err := LookupBenchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewWeighted(WeightedConfig{
+		Label:      spec.Name,
+		NumBlocks:  numBlocks,
+		PageBlocks: pageBlocks,
+		TargetCoV:  spec.WriteCoV,
+		Seed:       seed ^ uint64(len(spec.Name))*0x51ED2701,
+	})
+}

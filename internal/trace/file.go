@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// File format: a small binary container for recorded write traces so
+// workloads can be generated once (cmd/tracegen) and replayed.
+//
+//	offset  size  field
+//	0       4     magic "WLTR"
+//	4       4     version (little-endian uint32, currently 1)
+//	8       8     NumBlocks (little-endian uint64)
+//	16      8     count of records (little-endian uint64)
+//	24      8*n   block addresses (little-endian uint64 each)
+
+var fileMagic = [4]byte{'W', 'L', 'T', 'R'}
+
+const fileVersion = 1
+
+// WriteTrace records n writes drawn from g into w.
+func WriteTrace(w io.Writer, g Generator, n uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], fileVersion)
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return fmt.Errorf("trace: writing version: %w", err)
+	}
+	binary.LittleEndian.PutUint64(scratch[:], g.NumBlocks())
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return fmt.Errorf("trace: writing block count: %w", err)
+	}
+	binary.LittleEndian.PutUint64(scratch[:], n)
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return fmt.Errorf("trace: writing record count: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		binary.LittleEndian.PutUint64(scratch[:], g.Next())
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Replay is a Generator that replays a recorded trace, looping back to
+// the start when exhausted (matching the paper's "run multiple times"
+// replay).
+type Replay struct {
+	name      string
+	numBlocks uint64
+	records   []uint64
+	pos       int
+}
+
+// ReadTrace loads a trace written by WriteTrace.
+func ReadTrace(r io.Reader, name string) (*Replay, error) {
+	br := bufio.NewReader(r)
+	var head [24]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte(head[0:4]) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	numBlocks := binary.LittleEndian.Uint64(head[8:16])
+	count := binary.LittleEndian.Uint64(head[16:24])
+	if numBlocks == 0 {
+		return nil, fmt.Errorf("trace: file declares zero blocks")
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("trace: file holds no records")
+	}
+	const maxRecords = 1 << 30
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: %d records exceed the %d cap", count, maxRecords)
+	}
+	records := make([]uint64, count)
+	var scratch [8]byte
+	for i := range records {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+		}
+		records[i] = binary.LittleEndian.Uint64(scratch[:])
+		if records[i] >= numBlocks {
+			return nil, fmt.Errorf("trace: record %d address %d outside space [0,%d)",
+				i, records[i], numBlocks)
+		}
+	}
+	return &Replay{name: name, numBlocks: numBlocks, records: records}, nil
+}
+
+// Name implements Generator.
+func (r *Replay) Name() string { return r.name }
+
+// NumBlocks implements Generator.
+func (r *Replay) NumBlocks() uint64 { return r.numBlocks }
+
+// Len returns the number of recorded writes.
+func (r *Replay) Len() int { return len(r.records) }
+
+// Next implements Generator, looping at the end of the recording.
+func (r *Replay) Next() uint64 {
+	a := r.records[r.pos]
+	r.pos++
+	if r.pos == len(r.records) {
+		r.pos = 0
+	}
+	return a
+}
+
+var _ Generator = (*Replay)(nil)

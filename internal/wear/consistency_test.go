@@ -1,0 +1,78 @@
+package wear
+
+// Shared data-consistency harness: a leveler is correct if, after any
+// sequence of migrations it performs, every PA still reads the data that
+// was written to it ("the same valid PA consistently refers to the same
+// data no matter where it is physically migrated" — paper §I-B).
+
+import "testing"
+
+// shadowMem mirrors the physical data movement a Mover performs.
+type shadowMem struct {
+	data []uint64
+}
+
+func newShadowMem(numDAs uint64) *shadowMem {
+	m := &shadowMem{data: make([]uint64, numDAs)}
+	for i := range m.data {
+		m.data[i] = ^uint64(0) // poison: never a valid tag
+	}
+	return m
+}
+
+func (m *shadowMem) mover() Mover {
+	return FuncMover{
+		MigrateFn: func(src, dst uint64) { m.data[dst] = m.data[src] },
+		SwapFn:    func(a, b uint64) { m.data[a], m.data[b] = m.data[b], m.data[a] },
+	}
+}
+
+// tag is the logical content written at pa.
+func tag(pa uint64) uint64 { return pa*2654435761 + 12345 }
+
+// fillThrough writes every PA's tag through the current mapping.
+func fillThrough(l Leveler, m *shadowMem) {
+	for pa := uint64(0); pa < l.NumPAs(); pa++ {
+		m.data[l.Map(pa)] = tag(pa)
+	}
+}
+
+// verifyThrough checks every PA reads its tag through the current mapping.
+func verifyThrough(t *testing.T, l Leveler, m *shadowMem, context string) {
+	t.Helper()
+	for pa := uint64(0); pa < l.NumPAs(); pa++ {
+		if got := m.data[l.Map(pa)]; got != tag(pa) {
+			t.Fatalf("%s: PA %d reads %d, want %d (mapped to DA %d)",
+				context, pa, got, tag(pa), l.Map(pa))
+		}
+	}
+}
+
+// verifyBijection checks Map is injective into [0, NumDAs) and that
+// Inverse agrees with Map.
+func verifyBijection(t *testing.T, l Leveler, context string) {
+	t.Helper()
+	seen := make(map[uint64]uint64, l.NumPAs())
+	for pa := uint64(0); pa < l.NumPAs(); pa++ {
+		da := l.Map(pa)
+		if da >= l.NumDAs() {
+			t.Fatalf("%s: Map(%d) = %d outside DA space [0,%d)", context, pa, da, l.NumDAs())
+		}
+		if prev, dup := seen[da]; dup {
+			t.Fatalf("%s: PAs %d and %d both map to DA %d", context, prev, pa, da)
+		}
+		seen[da] = pa
+		back, ok := l.Inverse(da)
+		if !ok || back != pa {
+			t.Fatalf("%s: Inverse(%d) = (%d,%v), want (%d,true)", context, da, back, ok, pa)
+		}
+	}
+	// Unmapped DAs must report ok=false.
+	for da := uint64(0); da < l.NumDAs(); da++ {
+		if _, mapped := seen[da]; !mapped {
+			if _, ok := l.Inverse(da); ok {
+				t.Fatalf("%s: unmapped DA %d has an inverse", context, da)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package wear
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFeistelBijection(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 7, 64, 100, 1000, 4096, 5000} {
+		f, err := NewFeistel(n, 4, 42)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		seen := make(map[uint64]bool, n)
+		for x := uint64(0); x < n; x++ {
+			y := f.Map(x)
+			if y >= n {
+				t.Fatalf("n=%d: Map(%d) = %d out of range", n, x, y)
+			}
+			if seen[y] {
+				t.Fatalf("n=%d: Map not injective at %d", n, x)
+			}
+			seen[y] = true
+			if back := f.Inverse(y); back != x {
+				t.Fatalf("n=%d: Inverse(Map(%d)) = %d", n, x, back)
+			}
+		}
+	}
+}
+
+func TestFeistelDifferentSeedsDiffer(t *testing.T) {
+	const n = 1024
+	a, _ := NewFeistel(n, 4, 1)
+	b, _ := NewFeistel(n, 4, 2)
+	same := 0
+	for x := uint64(0); x < n; x++ {
+		if a.Map(x) == b.Map(x) {
+			same++
+		}
+	}
+	if same > n/10 {
+		t.Errorf("seeds 1 and 2 agree on %d/%d points", same, n)
+	}
+}
+
+func TestFeistelScrambles(t *testing.T) {
+	// Consecutive inputs should not stay consecutive (spatial decorrelation,
+	// the property Start-Gap's randomizer exists to provide).
+	const n = 1 << 12
+	f, _ := NewFeistel(n, 4, 7)
+	adjacent := 0
+	prev := f.Map(0)
+	for x := uint64(1); x < n; x++ {
+		y := f.Map(x)
+		d := int64(y) - int64(prev)
+		if d == 1 || d == -1 {
+			adjacent++
+		}
+		prev = y
+	}
+	if adjacent > n/100 {
+		t.Errorf("%d/%d adjacent pairs stayed adjacent; randomizer too weak", adjacent, n)
+	}
+}
+
+func TestFeistelErrors(t *testing.T) {
+	if _, err := NewFeistel(0, 4, 1); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewFeistel(8, 0, 1); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestFeistelPanicsOutOfDomain(t *testing.T) {
+	f, _ := NewFeistel(10, 4, 1)
+	for _, fn := range []func(){
+		func() { f.Map(10) },
+		func() { f.Inverse(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-domain input")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickFeistelRoundTrip(t *testing.T) {
+	f, _ := NewFeistel(100000, 4, 99)
+	prop := func(x uint64) bool {
+		x %= 100000
+		return f.Inverse(f.Map(x)) == x && f.Map(f.Inverse(x)) == x
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityRandomizer(t *testing.T) {
+	id := Identity{Size: 16}
+	if id.N() != 16 {
+		t.Error("size")
+	}
+	for x := uint64(0); x < 16; x++ {
+		if id.Map(x) != x || id.Inverse(x) != x {
+			t.Error("identity must not move addresses")
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package wear
+
+import (
+	"fmt"
+	"math/bits"
+
+	"wlreviver/internal/rng"
+)
+
+// srRegion is one Security Refresh region: an XOR-remapped address space
+// of power-of-two size that incrementally re-keys itself.
+//
+// Every address ra in the region is mapped to ra ⊕ key. A refresh round
+// introduces a new key and walks a refresh pointer over the region,
+// swapping each address's old location (ra ⊕ kPrev) with its new one
+// (ra ⊕ kCur). An address is "already remapped" in the current round when
+// either it or its swap partner (ra ⊕ kPrev ⊕ kCur) has been passed by
+// the pointer; remapped addresses use kCur, the rest still use kPrev.
+type srRegion struct {
+	size  uint64 // power of two
+	kPrev uint64
+	kCur  uint64
+	rp    uint64 // next address to refresh; size means round complete
+	src   *rng.Source
+	swaps uint64
+	round uint64
+}
+
+func newSRRegion(size uint64, src *rng.Source) *srRegion {
+	k0 := src.Uint64n(size)
+	return &srRegion{size: size, kPrev: k0, kCur: k0, rp: size, src: src}
+}
+
+// remapped reports whether ra has been re-keyed in the current round.
+func (r *srRegion) remapped(ra uint64) bool {
+	return ra < r.rp || (ra^r.kPrev^r.kCur) < r.rp
+}
+
+func (r *srRegion) mapAddr(ra uint64) uint64 {
+	if r.remapped(ra) {
+		return ra ^ r.kCur
+	}
+	return ra ^ r.kPrev
+}
+
+func (r *srRegion) inverse(da uint64) uint64 {
+	raCur := da ^ r.kCur
+	if r.remapped(raCur) {
+		return raCur
+	}
+	return da ^ r.kPrev
+}
+
+// step performs one refresh action: start a new round if the previous one
+// finished, then process the address under the refresh pointer, swapping
+// its old and new locations unless its partner was already processed.
+// swap is called with region-local device addresses.
+func (r *srRegion) step(swap func(a, b uint64)) {
+	if r.rp >= r.size {
+		r.kPrev = r.kCur
+		r.kCur = r.src.Uint64n(r.size)
+		r.rp = 0
+		r.round++
+	}
+	ra := r.rp
+	partner := ra ^ r.kPrev ^ r.kCur
+	if r.kPrev == r.kCur {
+		r.rp++
+		return // degenerate round (initial key): nothing moves
+	}
+	if partner < ra {
+		r.rp++
+		return // pair already swapped when the pointer passed partner
+	}
+	// The swap callback runs BEFORE the pointer advances: Mover
+	// implementations observe the pre-update mapping, the same contract
+	// Start-Gap's Migrate follows (see wear.Mover).
+	swap(ra^r.kPrev, ra^r.kCur)
+	r.rp++
+	r.swaps++
+}
+
+// SecurityRefreshConfig configures the scheme.
+type SecurityRefreshConfig struct {
+	// NumPAs is the (power-of-two) address-space size in blocks.
+	NumPAs uint64
+	// InnerRegions, when >1, enables the two-level organisation: an outer
+	// refresh across the whole space composed with an independent inner
+	// refresh per region. Must be a power of two dividing NumPAs; 1
+	// selects the single-level scheme.
+	InnerRegions uint64
+	// OuterWritePeriod is the number of serviced writes per outer refresh
+	// step (the scheme's refresh interval).
+	OuterWritePeriod uint64
+	// InnerWritePeriod is the number of serviced writes per inner refresh
+	// step of the written region (two-level only).
+	InnerWritePeriod uint64
+	// Seed keys the random refresh keys.
+	Seed uint64
+}
+
+// SecurityRefresh implements the Security Refresh wear-leveling scheme
+// (single- or two-level). Unlike Start-Gap it needs no gap block: its
+// migrations are swaps (NumDAs == NumPAs).
+type SecurityRefresh struct {
+	cfg    SecurityRefreshConfig
+	outer  *srRegion
+	inner  []*srRegion
+	shift  uint
+	mask   uint64
+	outerW uint64
+	innerW []uint64
+}
+
+// NewSecurityRefresh builds the scheme.
+func NewSecurityRefresh(cfg SecurityRefreshConfig) (*SecurityRefresh, error) {
+	if cfg.NumPAs == 0 || cfg.NumPAs&(cfg.NumPAs-1) != 0 {
+		return nil, fmt.Errorf("wear: security refresh needs a power-of-two space, got %d", cfg.NumPAs)
+	}
+	if cfg.InnerRegions == 0 {
+		cfg.InnerRegions = 1
+	}
+	if cfg.InnerRegions&(cfg.InnerRegions-1) != 0 || cfg.InnerRegions > cfg.NumPAs {
+		return nil, fmt.Errorf("wear: inner regions %d must be a power of two dividing the space", cfg.InnerRegions)
+	}
+	if cfg.OuterWritePeriod == 0 {
+		return nil, fmt.Errorf("wear: OuterWritePeriod must be positive")
+	}
+	if cfg.InnerRegions > 1 && cfg.InnerWritePeriod == 0 {
+		return nil, fmt.Errorf("wear: InnerWritePeriod must be positive with two levels")
+	}
+	src := rng.New(cfg.Seed ^ 0x5ECFEFFE5)
+	s := &SecurityRefresh{
+		cfg:   cfg,
+		outer: newSRRegion(cfg.NumPAs, src.Fork(0)),
+	}
+	if cfg.InnerRegions > 1 {
+		regionSize := cfg.NumPAs / cfg.InnerRegions
+		s.shift = uint(bits.TrailingZeros64(regionSize))
+		s.mask = regionSize - 1
+		s.inner = make([]*srRegion, cfg.InnerRegions)
+		s.innerW = make([]uint64, cfg.InnerRegions)
+		for i := range s.inner {
+			s.inner[i] = newSRRegion(regionSize, src.Fork(uint64(i)+1))
+		}
+	}
+	return s, nil
+}
+
+// Name implements Leveler.
+func (s *SecurityRefresh) Name() string {
+	if len(s.inner) > 0 {
+		return "Security-Refresh-2L"
+	}
+	return "Security-Refresh"
+}
+
+// NumPAs implements Leveler.
+func (s *SecurityRefresh) NumPAs() uint64 { return s.cfg.NumPAs }
+
+// NumDAs implements Leveler.
+func (s *SecurityRefresh) NumDAs() uint64 { return s.cfg.NumPAs }
+
+// Map implements Leveler.
+func (s *SecurityRefresh) Map(pa uint64) uint64 {
+	if pa >= s.cfg.NumPAs {
+		panic(fmt.Sprintf("wear: security refresh PA %d out of range", pa))
+	}
+	mid := s.outer.mapAddr(pa)
+	if len(s.inner) == 0 {
+		return mid
+	}
+	region := mid >> s.shift
+	return region<<s.shift | s.inner[region].mapAddr(mid&s.mask)
+}
+
+// Inverse implements Leveler. All DAs are mapped (ok is always true).
+func (s *SecurityRefresh) Inverse(da uint64) (uint64, bool) {
+	if da >= s.cfg.NumPAs {
+		panic(fmt.Sprintf("wear: security refresh DA %d out of range", da))
+	}
+	mid := da
+	if len(s.inner) > 0 {
+		region := da >> s.shift
+		mid = region<<s.shift | s.inner[region].inverse(da&s.mask)
+	}
+	return s.outer.inverse(mid), true
+}
+
+// midToDA translates an outer-level address to the device address through
+// the inner mapping of its region.
+func (s *SecurityRefresh) midToDA(mid uint64) uint64 {
+	if len(s.inner) == 0 {
+		return mid
+	}
+	region := mid >> s.shift
+	return region<<s.shift | s.inner[region].mapAddr(mid&s.mask)
+}
+
+// NoteWrite implements Leveler. Outer refreshes are paced by total write
+// volume; inner refreshes are paced per region by the writes landing in
+// that region, as in the two-level scheme's demand-driven refresh.
+func (s *SecurityRefresh) NoteWrite(pa uint64, mover Mover) {
+	s.outerW++
+	if s.outerW >= s.cfg.OuterWritePeriod {
+		s.outerW = 0
+		s.outer.step(func(a, b uint64) {
+			mover.Swap(s.midToDA(a), s.midToDA(b))
+		})
+	}
+	if len(s.inner) == 0 {
+		return
+	}
+	region := s.outer.mapAddr(pa) >> s.shift
+	s.innerW[region]++
+	if s.innerW[region] >= s.cfg.InnerWritePeriod {
+		s.innerW[region] = 0
+		base := region << s.shift
+		s.inner[region].step(func(a, b uint64) {
+			mover.Swap(base|a, base|b)
+		})
+	}
+}
+
+// OuterSwaps returns the number of outer-level swaps performed.
+func (s *SecurityRefresh) OuterSwaps() uint64 { return s.outer.swaps }
+
+var _ Leveler = (*SecurityRefresh)(nil)

@@ -1,0 +1,193 @@
+package wear
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"wlreviver/internal/stats"
+)
+
+func newTestSR(t *testing.T, n uint64, inner uint64) *SecurityRefresh {
+	t.Helper()
+	cfg := SecurityRefreshConfig{
+		NumPAs:           n,
+		InnerRegions:     inner,
+		OuterWritePeriod: 2,
+		InnerWritePeriod: 2,
+		Seed:             13,
+	}
+	sr, err := NewSecurityRefresh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+func TestSecurityRefreshConfigErrors(t *testing.T) {
+	cases := []SecurityRefreshConfig{
+		{NumPAs: 0, OuterWritePeriod: 1},
+		{NumPAs: 12, OuterWritePeriod: 1},                                        // not power of two
+		{NumPAs: 16, InnerRegions: 3, OuterWritePeriod: 1, InnerWritePeriod: 1},  // inner not pow2
+		{NumPAs: 16, InnerRegions: 32, OuterWritePeriod: 1, InnerWritePeriod: 1}, // inner > space
+		{NumPAs: 16, OuterWritePeriod: 0},
+		{NumPAs: 16, InnerRegions: 4, OuterWritePeriod: 1, InnerWritePeriod: 0},
+	}
+	for i, c := range cases {
+		if _, err := NewSecurityRefresh(c); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSecurityRefreshNames(t *testing.T) {
+	if got := newTestSR(t, 16, 1).Name(); got != "Security-Refresh" {
+		t.Errorf("name = %q", got)
+	}
+	if got := newTestSR(t, 16, 4).Name(); got != "Security-Refresh-2L" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestSecurityRefreshSingleLevelConsistency(t *testing.T) {
+	const n = 64
+	sr := newTestSR(t, n, 1)
+	mem := newShadowMem(sr.NumDAs())
+	fillThrough(sr, mem)
+	for step := 0; step < 1000; step++ {
+		sr.NoteWrite(uint64(step)%n, mem.mover())
+		if step%37 == 0 {
+			verifyBijection(t, sr, fmt.Sprintf("single-level step %d", step))
+			verifyThrough(t, sr, mem, fmt.Sprintf("single-level step %d", step))
+		}
+	}
+	verifyThrough(t, sr, mem, "single-level final")
+	if sr.OuterSwaps() == 0 {
+		t.Error("no swaps performed; refresh never progressed")
+	}
+}
+
+func TestSecurityRefreshTwoLevelConsistency(t *testing.T) {
+	const n = 64
+	sr := newTestSR(t, n, 4)
+	mem := newShadowMem(sr.NumDAs())
+	fillThrough(sr, mem)
+	for step := 0; step < 2000; step++ {
+		sr.NoteWrite(uint64(step*7)%n, mem.mover())
+		if step%61 == 0 {
+			verifyBijection(t, sr, fmt.Sprintf("two-level step %d", step))
+			verifyThrough(t, sr, mem, fmt.Sprintf("two-level step %d", step))
+		}
+	}
+	verifyThrough(t, sr, mem, "two-level final")
+}
+
+// Property: arbitrary write sequences keep the two-level mapping a
+// data-preserving bijection.
+func TestQuickSecurityRefreshConsistency(t *testing.T) {
+	prop := func(pas []uint16) bool {
+		sr, err := NewSecurityRefresh(SecurityRefreshConfig{
+			NumPAs: 32, InnerRegions: 2, OuterWritePeriod: 1, InnerWritePeriod: 1, Seed: 3,
+		})
+		if err != nil {
+			return false
+		}
+		mem := newShadowMem(sr.NumDAs())
+		fillThrough(sr, mem)
+		for _, p := range pas {
+			sr.NoteWrite(uint64(p)%32, mem.mover())
+		}
+		for pa := uint64(0); pa < 32; pa++ {
+			if mem.data[sr.Map(pa)] != tag(pa) {
+				return false
+			}
+			if back, ok := sr.Inverse(sr.Map(pa)); !ok || back != pa {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Re-keying must actually relocate data over time.
+func TestSecurityRefreshRelocatesData(t *testing.T) {
+	const n = 64
+	sr := newTestSR(t, n, 1)
+	mem := newShadowMem(sr.NumDAs())
+	fillThrough(sr, mem)
+	initial := sr.Map(5)
+	visited := map[uint64]bool{initial: true}
+	for i := 0; i < 5000; i++ {
+		sr.NoteWrite(uint64(i)%n, mem.mover())
+		visited[sr.Map(5)] = true
+	}
+	if len(visited) < 4 {
+		t.Errorf("PA 5 visited only %d DAs over 5000 writes; refresh not randomizing", len(visited))
+	}
+}
+
+// Security Refresh should level a hammered address across the space.
+func TestSecurityRefreshLevelsSkewedWrites(t *testing.T) {
+	const n = 256
+	const writes = 300000
+	runCoV := func(level bool) float64 {
+		sr, err := NewSecurityRefresh(SecurityRefreshConfig{
+			NumPAs: n, OuterWritePeriod: 8, Seed: 21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wearCount := make([]uint64, sr.NumDAs())
+		mover := FuncMover{SwapFn: func(a, b uint64) { wearCount[a]++; wearCount[b]++ }}
+		for i := 0; i < writes; i++ {
+			pa := uint64(i) % 4
+			wearCount[sr.Map(pa)]++
+			if level {
+				sr.NoteWrite(pa, mover)
+			}
+		}
+		return stats.CoVOfCounts(wearCount)
+	}
+	leveled, unleveled := runCoV(true), runCoV(false)
+	if leveled >= unleveled/3 {
+		t.Errorf("refresh barely leveled: CoV %.3f vs %.3f", leveled, unleveled)
+	}
+}
+
+func TestSecurityRefreshPanics(t *testing.T) {
+	sr := newTestSR(t, 16, 1)
+	for _, fn := range []func(){
+		func() { sr.Map(16) },
+		func() { sr.Inverse(16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNopAndFuncMovers(t *testing.T) {
+	NopMover{}.Migrate(1, 2) // must not panic
+	NopMover{}.Swap(1, 2)
+	var m FuncMover
+	m.Migrate(1, 2) // nil fns tolerated
+	m.Swap(1, 2)
+	called := 0
+	m = FuncMover{
+		MigrateFn: func(a, b uint64) { called++ },
+		SwapFn:    func(a, b uint64) { called++ },
+	}
+	m.Migrate(0, 1)
+	m.Swap(0, 1)
+	if called != 2 {
+		t.Error("FuncMover did not dispatch")
+	}
+}

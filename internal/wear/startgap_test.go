@@ -1,0 +1,201 @@
+package wear
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"wlreviver/internal/stats"
+)
+
+func newTestStartGap(t *testing.T, n, period uint64) *StartGap {
+	t.Helper()
+	sg, err := NewStartGap(StartGapConfig{NumPAs: n, GapWritePeriod: period, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+func TestStartGapConfigErrors(t *testing.T) {
+	if _, err := NewStartGap(StartGapConfig{NumPAs: 0, GapWritePeriod: 10}); err == nil {
+		t.Error("zero PAs accepted")
+	}
+	if _, err := NewStartGap(StartGapConfig{NumPAs: 8, GapWritePeriod: 0}); err == nil {
+		t.Error("zero period accepted")
+	}
+	wrong := Identity{Size: 4}
+	if _, err := NewStartGap(StartGapConfig{NumPAs: 8, GapWritePeriod: 1, Randomizer: wrong}); err == nil {
+		t.Error("mismatched randomizer domain accepted")
+	}
+}
+
+func TestStartGapInitialMapping(t *testing.T) {
+	sg, err := NewStartGap(StartGapConfig{NumPAs: 8, GapWritePeriod: 1, Randomizer: Identity{Size: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh scheme with identity randomizer: DA == PA, gap at the top.
+	for pa := uint64(0); pa < 8; pa++ {
+		if da := sg.Map(pa); da != pa {
+			t.Errorf("Map(%d) = %d, want identity initially", pa, da)
+		}
+	}
+	if sg.GapDA() != 8 {
+		t.Errorf("gap at %d, want 8", sg.GapDA())
+	}
+	if _, ok := sg.Inverse(8); ok {
+		t.Error("gap block should have no inverse")
+	}
+}
+
+func TestStartGapBijectionUnderGapMoves(t *testing.T) {
+	const n = 64
+	sg := newTestStartGap(t, n, 1)
+	mem := newShadowMem(sg.NumDAs())
+	fillThrough(sg, mem)
+	mover := mem.mover()
+	// Drive through several full rotations (a rotation is n+1 gap moves).
+	for step := 0; step < 3*(n+1)+7; step++ {
+		sg.ForceGapMove(mover)
+		verifyBijection(t, sg, fmt.Sprintf("after %d gap moves", step+1))
+		verifyThrough(t, sg, mem, fmt.Sprintf("after %d gap moves", step+1))
+	}
+	if sg.GapMoves() != 3*(n+1)+7 {
+		t.Errorf("gap moves = %d", sg.GapMoves())
+	}
+}
+
+func TestStartGapStartAdvancesOnWrap(t *testing.T) {
+	const n = 16
+	sg := newTestStartGap(t, n, 1)
+	mem := newShadowMem(sg.NumDAs())
+	fillThrough(sg, mem)
+	if sg.Start() != 0 {
+		t.Fatal("start should begin at 0")
+	}
+	for i := uint64(0); i < n+1; i++ {
+		sg.ForceGapMove(mem.mover())
+	}
+	if sg.Start() != 1 {
+		t.Errorf("start = %d after one full rotation, want 1", sg.Start())
+	}
+	if sg.GapDA() != n {
+		t.Errorf("gap = %d after full rotation, want %d", sg.GapDA(), n)
+	}
+}
+
+func TestStartGapNoteWritePacing(t *testing.T) {
+	sg := newTestStartGap(t, 32, 100)
+	mem := newShadowMem(sg.NumDAs())
+	fillThrough(sg, mem)
+	for i := 0; i < 99; i++ {
+		sg.NoteWrite(0, mem.mover())
+	}
+	if sg.GapMoves() != 0 {
+		t.Fatalf("gap moved before ψ writes")
+	}
+	sg.NoteWrite(0, mem.mover())
+	if sg.GapMoves() != 1 {
+		t.Fatalf("gap did not move at ψ-th write")
+	}
+	for i := 0; i < 100; i++ {
+		sg.NoteWrite(0, mem.mover())
+	}
+	if sg.GapMoves() != 2 {
+		t.Fatalf("gap moves = %d after 200 writes, want 2", sg.GapMoves())
+	}
+	verifyThrough(t, sg, mem, "after paced writes")
+}
+
+// Every block of data visits every device address over N*(N+1) gap moves
+// (the full wear-leveling cycle) — spot-check that a single PA's DA
+// changes and covers many distinct DAs.
+func TestStartGapDataVisitsManyDAs(t *testing.T) {
+	const n = 32
+	sg := newTestStartGap(t, n, 1)
+	mem := newShadowMem(sg.NumDAs())
+	fillThrough(sg, mem)
+	visited := make(map[uint64]bool)
+	for i := 0; i < n*(n+1); i++ {
+		visited[sg.Map(7)] = true
+		sg.ForceGapMove(mem.mover())
+	}
+	if len(visited) != int(n+1) {
+		t.Errorf("PA 7 visited %d distinct DAs over a full cycle, want %d", len(visited), n+1)
+	}
+	verifyThrough(t, sg, mem, "after full cycle")
+}
+
+// Property: for arbitrary interleavings of writes and forced moves, the
+// mapping stays consistent.
+func TestQuickStartGapConsistency(t *testing.T) {
+	prop := func(ops []bool) bool {
+		sg, err := NewStartGap(StartGapConfig{NumPAs: 24, GapWritePeriod: 3, Seed: 11})
+		if err != nil {
+			return false
+		}
+		mem := newShadowMem(sg.NumDAs())
+		fillThrough(sg, mem)
+		for _, forced := range ops {
+			if forced {
+				sg.ForceGapMove(mem.mover())
+			} else {
+				sg.NoteWrite(0, mem.mover())
+			}
+		}
+		for pa := uint64(0); pa < sg.NumPAs(); pa++ {
+			if mem.data[sg.Map(pa)] != tag(pa) {
+				return false
+			}
+			if back, ok := sg.Inverse(sg.Map(pa)); !ok || back != pa {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Wear-leveling efficacy: a heavily skewed write stream through Start-Gap
+// with migrations should spread wear far more evenly than without.
+func TestStartGapLevelsSkewedWrites(t *testing.T) {
+	const n = 256
+	const writes = 200000
+	runCoV := func(level bool) float64 {
+		sg := newTestStartGap(t, n, 10)
+		wearCount := make([]uint64, sg.NumDAs())
+		mover := FuncMover{MigrateFn: func(src, dst uint64) { wearCount[dst]++ }}
+		for i := 0; i < writes; i++ {
+			pa := uint64(i) % 8 // hammer 8 hot addresses
+			wearCount[sg.Map(pa)]++
+			if level {
+				sg.NoteWrite(pa, mover)
+			}
+		}
+		return stats.CoVOfCounts(wearCount)
+	}
+	leveled, unleveled := runCoV(true), runCoV(false)
+	if leveled >= unleveled/4 {
+		t.Errorf("leveling barely helped: CoV %.3f leveled vs %.3f unleveled", leveled, unleveled)
+	}
+}
+
+func TestStartGapPanicsOutOfRange(t *testing.T) {
+	sg := newTestStartGap(t, 8, 1)
+	for _, fn := range []func(){
+		func() { sg.Map(8) },
+		func() { sg.Inverse(9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

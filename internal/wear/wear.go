@@ -1,0 +1,118 @@
+// Package wear implements in-PCM wear-leveling schemes behind a common
+// Leveler interface: Start-Gap with static address randomization (Qureshi
+// et al., MICRO'09) and Security Refresh (Seong et al., ISCA'10).
+//
+// A Leveler owns the algebraic PA→DA mapping function and its periodic
+// data migrations. Following the paper's framework boundary (§III), the
+// only operation a leveler needs from its environment is "migrate a block
+// of data into a memory block", expressed by the Mover interface; data
+// movement, wear accounting, error handling and failure redirection all
+// happen behind Mover, which is what lets WL-Reviver revive any scheme
+// without modifying it.
+package wear
+
+// Leveler is an in-memory-controller wear-leveling scheme.
+//
+// Mapping functions are bijections from the PA space [0, NumPAs) onto
+// their image inside the DA space [0, NumDAs); NumDAs may exceed NumPAs
+// by buffer blocks (e.g. Start-Gap's gap line) that never hold live data.
+type Leveler interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// NumPAs is the size of the physical (software-side) address space in
+	// blocks.
+	NumPAs() uint64
+	// NumDAs is the size of the device address space the scheme manages.
+	NumDAs() uint64
+	// Map translates a physical address to its current device address.
+	Map(pa uint64) uint64
+	// Inverse translates a device address back to the physical address
+	// currently mapped to it. ok is false when da is an unmapped buffer
+	// block (such as the gap line).
+	Inverse(da uint64) (pa uint64, ok bool)
+	// NoteWrite informs the scheme that one software write to pa has been
+	// serviced. When the scheme's leveling condition is met (e.g. every
+	// ψ writes for Start-Gap), it performs its data migrations through
+	// mover and updates the mapping function accordingly. Schemes with
+	// region-local refresh (Security Refresh) use pa to credit the
+	// written region; Start-Gap ignores it.
+	NoteWrite(pa uint64, mover Mover)
+}
+
+// Mover carries out the physical data movement of wear-leveling
+// operations. Implementations add device wear, run error correction, and
+// redirect accesses around failed blocks (package reviver, freep, lls).
+//
+// Contract: a scheme invokes the Mover BEFORE applying the corresponding
+// mapping-function update, so implementations observe the pre-migration
+// mapping and can compute the post-migration preimages from the call's
+// arguments (after Migrate(src, dst) the PA previously mapped to src maps
+// to dst; after Swap(a, b) the mappers of a and b exchange).
+type Mover interface {
+	// Migrate copies the block of data at device address src into the
+	// block at device address dst. dst is guaranteed by the scheme to
+	// hold no live data (Theorem 3's buffer-block assumption).
+	Migrate(src, dst uint64)
+	// Swap exchanges the blocks of data at device addresses a and b, the
+	// fundamental operation of swap-based schemes such as Security
+	// Refresh. The implicit buffer involved is not modeled as a DA.
+	Swap(a, b uint64)
+}
+
+// NopMover performs no data movement; useful for driving a leveler's
+// mapping evolution in isolation (tests, mapping analyses).
+type NopMover struct{}
+
+// Migrate implements Mover.
+func (NopMover) Migrate(src, dst uint64) {}
+
+// Swap implements Mover.
+func (NopMover) Swap(a, b uint64) {}
+
+// FuncMover adapts plain functions to the Mover interface.
+type FuncMover struct {
+	MigrateFn func(src, dst uint64)
+	SwapFn    func(a, b uint64)
+}
+
+// Migrate implements Mover.
+func (m FuncMover) Migrate(src, dst uint64) {
+	if m.MigrateFn != nil {
+		m.MigrateFn(src, dst)
+	}
+}
+
+// Swap implements Mover.
+func (m FuncMover) Swap(a, b uint64) {
+	if m.SwapFn != nil {
+		m.SwapFn(a, b)
+	}
+}
+
+// Static is the degenerate "no wear leveling" scheme: an identity PA→DA
+// mapping that never migrates. It provides the no-leveling baselines in
+// the paper's Figure 6 (curves "ECP6" and "PAYG").
+type Static struct {
+	// Size is the PA/DA space size in blocks.
+	Size uint64
+}
+
+// Name implements Leveler.
+func (s Static) Name() string { return "none" }
+
+// NumPAs implements Leveler.
+func (s Static) NumPAs() uint64 { return s.Size }
+
+// NumDAs implements Leveler.
+func (s Static) NumDAs() uint64 { return s.Size }
+
+// Map implements Leveler.
+func (s Static) Map(pa uint64) uint64 { return pa }
+
+// Inverse implements Leveler.
+func (s Static) Inverse(da uint64) (uint64, bool) { return da, true }
+
+// NoteWrite implements Leveler; it never migrates.
+func (s Static) NoteWrite(_ uint64, _ Mover) {}
+
+var _ Leveler = Static{}

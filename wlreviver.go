@@ -1,0 +1,172 @@
+// Package wlreviver is a from-scratch reproduction of "WL-Reviver: A
+// Framework for Reviving any Wear-Leveling Techniques in the Face of
+// Failures on Phase Change Memory" (Fan, Jiang, Shu, Sun, Hu — DSN 2014).
+//
+// It provides a complete trace-driven PCM simulation stack — a cell-level
+// endurance model, ECP/PAYG error correction, Start-Gap and Security
+// Refresh wear leveling, an OS page-retirement model, the adapted FREE-p
+// and LLS baselines — and the paper's contribution: the WL-Reviver
+// framework, which keeps any wear-leveling scheme functioning after
+// block failures by linking failed blocks to virtual shadow blocks
+// (retired-page physical addresses) whose mapping the scheme itself
+// keeps up to date.
+//
+// # Quick start
+//
+//	cfg := wlreviver.DefaultConfig()
+//	workload, _ := wlreviver.NewBenchmarkWorkload("mg", cfg.Blocks, cfg.BlocksPerPage, 1)
+//	sys, _ := wlreviver.New(cfg, workload)
+//	sys.Run(10_000_000, nil)
+//	fmt.Printf("survival %.3f usable %.3f\n", sys.SurvivalRate(), sys.UsableFraction())
+//
+// The experiment presets (Table1, Fig5 … Table2) regenerate every table
+// and figure of the paper's evaluation; see EXPERIMENTS.md for the
+// paper-vs-measured record.
+package wlreviver
+
+import (
+	"wlreviver/internal/sim"
+	"wlreviver/internal/trace"
+	"wlreviver/internal/wear"
+)
+
+// Config assembles one simulated PCM system; see sim.Config for the full
+// field documentation.
+type Config = sim.Config
+
+// System is a running simulated PCM memory system.
+type System = sim.Engine
+
+// Workload is an endless stream of block write addresses.
+type Workload = trace.Generator
+
+// Leveler is the wear-leveling scheme interface; supply your own through
+// Config.CustomLeveler to have the framework revive it (the paper's
+// central claim — see examples/customleveler).
+type Leveler = wear.Leveler
+
+// Mover carries out a leveler's data migrations; the configured
+// protection framework implements it.
+type Mover = wear.Mover
+
+// Kind selectors for the configurable components.
+type (
+	// LevelerKind selects the wear-leveling scheme.
+	LevelerKind = sim.LevelerKind
+	// ProtectorKind selects the failure-protection framework.
+	ProtectorKind = sim.ProtectorKind
+	// ECCKind selects the error-correction scheme.
+	ECCKind = sim.ECCKind
+)
+
+// Component selectors (see the sim package for documentation).
+const (
+	LevelerNone             = sim.LevelerNone
+	LevelerStartGap         = sim.LevelerStartGap
+	LevelerSecurityRefresh  = sim.LevelerSecurityRefresh
+	LevelerRegionedStartGap = sim.LevelerRegionedStartGap
+
+	ProtectorNone      = sim.ProtectorNone
+	ProtectorWLReviver = sim.ProtectorWLReviver
+	ProtectorFREEp     = sim.ProtectorFREEp
+	ProtectorLLS       = sim.ProtectorLLS
+	ProtectorDRM       = sim.ProtectorDRM
+
+	ECCECP6 = sim.ECCECP6
+	ECCECP1 = sim.ECCECP1
+	ECCPAYG = sim.ECCPAYG
+)
+
+// DefaultConfig returns the scaled default system (see sim.DefaultConfig).
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// New builds a system from cfg and a workload covering cfg.Blocks blocks.
+func New(cfg Config, workload Workload) (*System, error) {
+	return sim.NewEngine(cfg, workload)
+}
+
+// NewUniformWorkload returns uniformly random writes over blocks.
+func NewUniformWorkload(blocks, seed uint64) (Workload, error) {
+	return trace.NewUniform(blocks, seed)
+}
+
+// NewBenchmarkWorkload returns the synthetic stand-in for one of the
+// paper's Table I benchmarks ("blackscholes", "streamcluster",
+// "swaptions", "mg", "fft", "ocean", "radix", "water-spatial"),
+// calibrated to its write CoV.
+func NewBenchmarkWorkload(name string, blocks, pageBlocks, seed uint64) (Workload, error) {
+	return trace.NewBenchmark(name, blocks, pageBlocks, seed)
+}
+
+// NewSkewedWorkload returns a stationary workload calibrated to an
+// arbitrary write CoV.
+func NewSkewedWorkload(blocks, pageBlocks uint64, cov float64, seed uint64) (Workload, error) {
+	return trace.NewWeighted(trace.WeightedConfig{
+		NumBlocks: blocks, PageBlocks: pageBlocks, TargetCoV: cov, Seed: seed,
+	})
+}
+
+// NewHammerWorkload returns a malicious single-set hammering attack.
+func NewHammerWorkload(blocks uint64, targets []uint64) (Workload, error) {
+	return trace.NewHammer(blocks, targets)
+}
+
+// NewBirthdayParadoxWorkload returns Seznec's birthday-paradox attack.
+func NewBirthdayParadoxWorkload(blocks uint64, setSize int, burst, seed uint64) (Workload, error) {
+	return trace.NewBirthdayParadox(blocks, setSize, burst, seed)
+}
+
+// BenchmarkNames lists the Table I benchmark names.
+func BenchmarkNames() []string { return trace.BenchmarkNames() }
+
+// Scale groups the geometry knobs shared by the experiment presets.
+type Scale = sim.Scale
+
+// TinyScale is the unit-test scale (64 KiB chip).
+func TinyScale() Scale { return sim.TinyScale() }
+
+// BenchScale is the benchmark-harness scale (512 KiB chip).
+func BenchScale() Scale { return sim.BenchScale() }
+
+// PaperScale approaches the paper's setup (4 MiB chip, 1e4 endurance).
+func PaperScale() Scale { return sim.PaperScale() }
+
+// Experiment result types.
+type (
+	// Table1Result reproduces Table I.
+	Table1Result = sim.Table1Result
+	// Fig5Result reproduces Figure 5.
+	Fig5Result = sim.Fig5Result
+	// Fig6Result reproduces Figure 6.
+	Fig6Result = sim.Fig6Result
+	// Fig7Result reproduces Figure 7.
+	Fig7Result = sim.Fig7Result
+	// Fig8Result reproduces Figure 8.
+	Fig8Result = sim.Fig8Result
+	// Table2Result reproduces Table II.
+	Table2Result = sim.Table2Result
+	// AttacksResult measures malicious wear-out resistance (§IV-B).
+	AttacksResult = sim.AttacksResult
+)
+
+// Table1 regenerates Table I (benchmark write CoVs).
+func Table1(s Scale) (*Table1Result, error) { return sim.Table1(s) }
+
+// Fig5 regenerates Figure 5 (lifetime to 30% capacity loss, ±WLR).
+func Fig5(s Scale) (*Fig5Result, error) { return sim.Fig5(s) }
+
+// Fig6 regenerates Figure 6 (capacity-survival curves) for a benchmark.
+func Fig6(s Scale, workload string) (*Fig6Result, error) { return sim.Fig6(s, workload) }
+
+// Fig7 regenerates Figure 7 (WLR vs FREE-p reservations).
+func Fig7(s Scale, workload string) (*Fig7Result, error) { return sim.Fig7(s, workload) }
+
+// Fig8 regenerates Figure 8 (WLR vs LLS usable space).
+func Fig8(s Scale, workload string) (*Fig8Result, error) { return sim.Fig8(s, workload) }
+
+// Table2 regenerates Table II (access time and usable space vs failure
+// ratio, LLS vs WLR).
+func Table2(s Scale, workloads []string) (*Table2Result, error) { return sim.Table2(s, workloads) }
+
+// Attacks measures hammering and birthday-paradox attack costs, ±WLR.
+func Attacks(s Scale) (*AttacksResult, error) { return sim.Attacks(s) }
