@@ -1,0 +1,22 @@
+# Convenience targets; scripts/verify.sh is the canonical gate.
+
+.PHONY: build test verify bench paper
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Full verification gate: vet + build + tests + race over the parallel
+# experiment runner. ROADMAP.md's tier-1 line points here.
+verify:
+	sh scripts/verify.sh
+
+# Experiment-harness benchmarks (result-shape metrics + hot-path ns/op).
+bench:
+	go test -bench=. -benchmem -run '^$$' ./...
+
+# Regenerate the paper's tables and figures at bench scale on all CPUs.
+paper:
+	go run ./cmd/paper -scale bench -exp all

@@ -8,6 +8,8 @@ package wlreviver
 // to stay fast; cmd/paper runs the same experiments at larger scales.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"wlreviver/internal/lls"
@@ -16,8 +18,15 @@ import (
 	"wlreviver/internal/wear"
 )
 
-// benchScale returns the scale benches run at.
-func benchScale() Scale { return TinyScale() }
+// benchScale returns the scale benches run at. Experiments fan out over
+// all CPUs; results are identical to serial runs (the sim package's
+// parallel-vs-serial equivalence test enforces it), so the reported
+// result metrics are unaffected.
+func benchScale() Scale {
+	s := TinyScale()
+	s.Workers = runtime.NumCPU()
+	return s
+}
 
 // BenchmarkTable1_WorkloadCoV regenerates Table I: synthetic benchmark
 // generators calibrated to the paper's write CoVs.
@@ -280,6 +289,25 @@ func BenchmarkAblation_LevelerUnderWLR(b *testing.B) {
 	}
 }
 
+// ---- parallel runner ----------------------------------------------------------
+
+// BenchmarkFig6_ByWorkers measures the experiment fan-out: the same six
+// Figure 6 engines driven serially and across all CPUs. The ratio of the
+// two is the wall-clock speedup the worker pool buys on this machine.
+func BenchmarkFig6_ByWorkers(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := TinyScale()
+			s.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig6(s, "ocean"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ---- hot-path microbenchmarks -------------------------------------------------
 
 // BenchmarkEngineStepHealthy measures the per-write cost of the full
@@ -345,4 +373,44 @@ func BenchmarkEngineStepDegraded(b *testing.B) {
 		steps++
 	}
 	_ = steps
+}
+
+// BenchmarkEngineRunN measures the batched write loop the experiment
+// runners sit in (runCurve drives checkEvery-write batches through RunN).
+func BenchmarkEngineRunN(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Blocks = 1 << 16
+	cfg.MeanEndurance = 1e12 // never fails within the bench
+	gen, err := trace.NewUniform(cfg.Blocks, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := sim.NewEngine(cfg, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 1 << 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		n := uint64(batch)
+		if rem := b.N - i; rem < batch {
+			n = uint64(rem)
+		}
+		if e.RunN(n) != n {
+			b.Fatal("engine stopped mid-bench")
+		}
+	}
+}
+
+// BenchmarkWorkloadNext isolates the generator draw that feeds every
+// simulated write (alias-method sampling for benchmark workloads).
+func BenchmarkWorkloadNext(b *testing.B) {
+	gen, err := NewBenchmarkWorkload("mg", 1<<16, 64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.Next()
+	}
 }

@@ -4,17 +4,23 @@
 // Usage:
 //
 //	paper [-scale tiny|bench|paper] [-exp all|table1|fig5|fig6|fig7|fig8|table2] [-seed N]
+//	      [-workers N] [-cpuprofile f] [-memprofile f] [-benchjson f] [-csv dir]
 //
 // Output is the textual form of each table/figure; EXPERIMENTS.md records
-// a reference run against the paper's reported results.
+// a reference run against the paper's reported results. Experiments fan
+// their independent engines out over -workers goroutines (default: all
+// CPUs); results are identical for any worker count.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,7 +39,11 @@ func run() error {
 	scaleName := flag.String("scale", "bench", "experiment scale: tiny, bench or paper")
 	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, fig8, table2 or attacks")
 	seed := flag.Uint64("seed", 0, "override the scale's RNG seed (0 keeps the default)")
+	workers := flag.Int("workers", runtime.NumCPU(), "engine fan-out per experiment; 1 runs serially")
 	csvDir := flag.String("csv", "", "also write the curve figures as CSV files into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	benchJSON := flag.String("benchjson", "", "write per-experiment wall-clock and writes/sec as JSON to this file")
 	flag.Parse()
 
 	var scale wlreviver.Scale
@@ -50,9 +60,29 @@ func run() error {
 	if *seed != 0 {
 		scale.Seed = *seed
 	}
-	fmt.Printf("# scale=%s blocks=%d page=%d blocks endurance=%.0f psi=%d seed=%d\n\n",
+	scale.Workers = *workers
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// The banner mentions workers only when parallel, so -workers 1
+	// reproduces the historical serial output byte for byte.
+	parallelNote := ""
+	if scale.Workers > 1 {
+		parallelNote = fmt.Sprintf(" workers=%d", scale.Workers)
+	}
+	fmt.Printf("# scale=%s blocks=%d page=%d blocks endurance=%.0f psi=%d seed=%d%s\n\n",
 		*scaleName, scale.Blocks, scale.BlocksPerPage, scale.MeanEndurance,
-		scale.GapWritePeriod, scale.Seed)
+		scale.GapWritePeriod, scale.Seed, parallelNote)
 
 	type experiment struct {
 		name string
@@ -70,6 +100,12 @@ func run() error {
 		{"attacks", func() (fmt.Stringer, error) { return wlreviver.Attacks(scale) }},
 	}
 
+	report := benchReport{
+		Scale:   *scaleName,
+		Seed:    scale.Seed,
+		Workers: scale.Workers,
+		NumCPU:  runtime.NumCPU(),
+	}
 	matched := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {
@@ -81,8 +117,10 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
+		elapsed := time.Since(start)
 		fmt.Println(res)
-		fmt.Printf("(%s took %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s took %v)\n\n", e.name, elapsed.Round(time.Millisecond))
+		report.add(e.name, elapsed, totalWrites(res))
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, e.name, res); err != nil {
 				return fmt.Errorf("%s: writing csv: %w", e.name, err)
@@ -92,7 +130,93 @@ func run() error {
 	if !matched {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+
+	if *benchJSON != "" {
+		if err := report.write(*benchJSON); err != nil {
+			return fmt.Errorf("benchjson: %w", err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
 	return nil
+}
+
+// ---- machine-readable timings ----------------------------------------------
+
+// benchExperiment is one experiment's cost in the -benchjson report.
+type benchExperiment struct {
+	Name         string  `json:"name"`
+	Seconds      float64 `json:"seconds"`
+	Writes       uint64  `json:"writes"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+}
+
+// benchReport is the -benchjson document: per-experiment wall-clock and
+// simulated-write throughput, plus run-wide totals.
+type benchReport struct {
+	Scale        string            `json:"scale"`
+	Seed         uint64            `json:"seed"`
+	Workers      int               `json:"workers"`
+	NumCPU       int               `json:"num_cpu"`
+	Experiments  []benchExperiment `json:"experiments"`
+	TotalSeconds float64           `json:"total_seconds"`
+	TotalWrites  uint64            `json:"total_writes"`
+	WritesPerSec float64           `json:"writes_per_sec"`
+}
+
+// add records one experiment's timing.
+func (r *benchReport) add(name string, elapsed time.Duration, writes uint64) {
+	e := benchExperiment{Name: name, Seconds: elapsed.Seconds(), Writes: writes}
+	if e.Seconds > 0 {
+		e.WritesPerSec = float64(writes) / e.Seconds
+	}
+	r.Experiments = append(r.Experiments, e)
+	r.TotalSeconds += e.Seconds
+	r.TotalWrites += writes
+	if r.TotalSeconds > 0 {
+		r.WritesPerSec = float64(r.TotalWrites) / r.TotalSeconds
+	}
+}
+
+// write dumps the report as indented JSON.
+func (r *benchReport) write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeCounter is implemented by results that track their simulated
+// write volume.
+type writeCounter interface {
+	TotalWrites() uint64
+}
+
+// totalWrites extracts the simulated write count from a result.
+func totalWrites(res fmt.Stringer) uint64 {
+	switch r := res.(type) {
+	case pair:
+		var sum uint64
+		for _, half := range []fmt.Stringer{r.ocean, r.mg} {
+			if wc, ok := half.(writeCounter); ok {
+				sum += wc.TotalWrites()
+			}
+		}
+		return sum
+	case writeCounter:
+		return r.TotalWrites()
+	}
+	return 0
 }
 
 // curveSet is implemented by results that carry plottable curves.

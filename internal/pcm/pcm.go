@@ -148,9 +148,11 @@ func (d *Device) NumBlocks() uint64 { return d.cfg.NumBlocks }
 // cellU derives the uniform variate used for the k-th order-statistic
 // spacing of block b. It depends only on (seed, b, k), so failure
 // schedules are independent of the order in which blocks are written.
+// rng.HashFloat64Open produces exactly what a freshly seeded Source
+// would, without allocating one per draw — this runs once per cell
+// failure and once per block at construction.
 func (d *Device) cellU(b BlockID, k int) float64 {
-	src := rng.New(d.cfg.Seed ^ (uint64(b)+1)*0x9E3779B97F4A7C15 ^ (uint64(k)+1)*0xC2B2AE3D27D4EB4F)
-	return src.Float64Open()
+	return rng.HashFloat64Open(d.cfg.Seed ^ (uint64(b)+1)*0x9E3779B97F4A7C15 ^ (uint64(k)+1)*0xC2B2AE3D27D4EB4F)
 }
 
 // orderStatThreshold computes the wear threshold of the (k+1)-th cell

@@ -319,3 +319,34 @@ func BenchmarkWriteHotPath(b *testing.B) {
 		d.Write(BlockID(uint64(i) & mask))
 	}
 }
+
+// BenchmarkWriteFailurePath measures the order-statistic draw that runs
+// on every cell failure — the degraded-chip write cost. Low endurance
+// with high CoV makes nearly every write advance the failure schedule.
+func BenchmarkWriteFailurePath(b *testing.B) {
+	cfg := testConfig(1<<10, 64)
+	cfg.LifetimeCoV = 0.3
+	d, _ := NewDevice(cfg)
+	mask := uint64(1<<10 - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := BlockID(uint64(i) & mask)
+		if d.FailedCells(blk) >= cfg.CellsPerBlock-1 {
+			b.StopTimer()
+			d, _ = NewDevice(cfg)
+			b.StartTimer()
+		}
+		d.Write(blk)
+	}
+}
+
+// BenchmarkNewDevice measures construction, which performs one
+// order-statistic draw per block.
+func BenchmarkNewDevice(b *testing.B) {
+	cfg := testConfig(1<<16, 1e9)
+	for i := 0; i < b.N; i++ {
+		if _, err := NewDevice(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

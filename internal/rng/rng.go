@@ -164,3 +164,22 @@ func (r *Source) Shuffle(n int, swap func(i, j int)) {
 func (r *Source) Fork(label uint64) *Source {
 	return New(r.Uint64() ^ (label * 0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03)
 }
+
+// Hash64 returns the first value New(seed).Uint64() would produce,
+// without constructing a Source. xoshiro256**'s first output depends only
+// on s[1], so a single SplitMix64 step suffices; callers that consume one
+// value per seed (e.g. counter-keyed stochastic fields) avoid the
+// allocation and the three unused state words. Guaranteed identical to
+// the Source path, enforced by test.
+func Hash64(seed uint64) uint64 {
+	_, s1 := splitMix64(seed + 0x9E3779B97F4A7C15) // advance past s[0]
+	return rotl(s1*5, 7) * 9
+}
+
+// HashFloat64Open returns the first value New(seed).Float64Open() would
+// produce. The (0,1) retry loop in Float64Open can never fire on its
+// first draw — (x>>11 + 0.5)·2⁻⁵³ is already strictly inside (0,1) — so
+// this is a single hash.
+func HashFloat64Open(seed uint64) float64 {
+	return (float64(Hash64(seed)>>11) + 0.5) * (1.0 / (1 << 53))
+}

@@ -234,3 +234,34 @@ func BenchmarkUint64n(b *testing.B) {
 		_ = r.Uint64n(1000003)
 	}
 }
+
+// Hash64/HashFloat64Open promise exact equivalence with the Source path;
+// pcm's order-statistic draws rely on it for byte-identical results.
+func TestHash64MatchesSource(t *testing.T) {
+	seeds := []uint64{0, 1, 42, math.MaxUint64, 0x9E3779B97F4A7C15}
+	r := New(99)
+	for i := 0; i < 1000; i++ {
+		seeds = append(seeds, r.Uint64())
+	}
+	for _, seed := range seeds {
+		if got, want := Hash64(seed), New(seed).Uint64(); got != want {
+			t.Fatalf("Hash64(%#x) = %#x, Source gives %#x", seed, got, want)
+		}
+		if got, want := HashFloat64Open(seed), New(seed).Float64Open(); got != want {
+			t.Fatalf("HashFloat64Open(%#x) = %v, Source gives %v", seed, got, want)
+		}
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Hash64(uint64(i))
+	}
+}
+
+func BenchmarkNewSourceDraw(b *testing.B) {
+	// The allocation Hash64 avoids: a full Source per single draw.
+	for i := 0; i < b.N; i++ {
+		_ = New(uint64(i)).Uint64()
+	}
+}

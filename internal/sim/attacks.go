@@ -22,11 +22,17 @@ type AttackRow struct {
 // including birthday paradox attack" — this experiment quantifies it.
 type AttacksResult struct {
 	Rows []AttackRow
+	// SimWrites is the total simulated writes across all runs.
+	SimWrites uint64
 }
+
+// TotalWrites reports the experiment's simulated write volume.
+func (r *AttacksResult) TotalWrites() uint64 { return r.SimWrites }
 
 // Attacks runs address-hammering and birthday-paradox attacks against
 // ECP6 + Start-Gap with and without WL-Reviver, reporting the attacker's
-// cost to destroy 30% of the memory's capacity.
+// cost to destroy 30% of the memory's capacity — one job per
+// (attack, scheme) engine.
 func Attacks(s Scale) (*AttacksResult, error) {
 	attacks := []struct {
 		name string
@@ -46,34 +52,46 @@ func Attacks(s Scale) (*AttacksResult, error) {
 			return trace.NewBirthdayParadox(s.Blocks, 16, 4*s.GapWritePeriod*s.Blocks/64, seed)
 		}},
 	}
-	res := &AttacksResult{}
+	var jobs []Job[AttackRow]
 	for _, atk := range attacks {
 		for _, withWLR := range []bool{false, true} {
-			gen, err := atk.make(s.Seed)
-			if err != nil {
-				return nil, err
-			}
-			cfg := s.config()
+			scheme := "ECP6-SG"
 			if withWLR {
-				cfg.Protector = ProtectorWLReviver
-			} else {
-				cfg.Protector = ProtectorNone
+				scheme = "ECP6-SG-WLR"
 			}
-			e, err := NewEngine(cfg, gen)
-			if err != nil {
-				return nil, err
-			}
-			curve := runCurve(e, atk.name, usable, 0.70, s.maxWrites())
-			row := AttackRow{
-				Attack:      atk.name,
-				Scheme:      map[bool]string{false: "ECP6-SG", true: "ECP6-SG-WLR"}[withWLR],
-				LifetimeWPB: curve.Points[len(curve.Points)-1].X,
-				Survived:    curve.Points[len(curve.Points)-1].Y > 0.70,
-			}
-			res.Rows = append(res.Rows, row)
+			jobs = append(jobs, Job[AttackRow]{
+				Name: "attacks/" + atk.name + "/" + scheme,
+				Run: func() (AttackRow, uint64, error) {
+					gen, err := atk.make(s.Seed)
+					if err != nil {
+						return AttackRow{}, 0, err
+					}
+					cfg := s.config()
+					if withWLR {
+						cfg.Protector = ProtectorWLReviver
+					} else {
+						cfg.Protector = ProtectorNone
+					}
+					e, err := NewEngine(cfg, gen)
+					if err != nil {
+						return AttackRow{}, 0, err
+					}
+					curve := runCurve(e, atk.name, usable, 0.70, s.maxWrites())
+					return AttackRow{
+						Attack:      atk.name,
+						Scheme:      scheme,
+						LifetimeWPB: curve.Points[len(curve.Points)-1].X,
+						Survived:    curve.Points[len(curve.Points)-1].Y > 0.70,
+					}, e.Writes(), nil
+				},
+			})
 		}
 	}
-	return res, nil
+	rows, writes, err := CollectJobs(jobs, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &AttacksResult{Rows: rows, SimWrites: writes}, nil
 }
 
 // String formats the attack table.

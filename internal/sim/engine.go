@@ -199,6 +199,14 @@ type Engine struct {
 	prot mc.Protector
 	gen  trace.Generator
 
+	// Optional protector views and per-write constants, resolved once at
+	// construction so the write loop carries no type assertions or
+	// recomputed bounds.
+	crip     mc.Crippler      // nil when prot cannot cripple
+	space    mc.SpaceReporter // nil when prot reports no space metric
+	llsStack bool             // crippling is terminal (Figure 8 semantics)
+	maxRetry int
+
 	writes  uint64
 	stopped bool
 }
@@ -374,7 +382,12 @@ func NewEngine(cfg Config, gen trace.Generator) (*Engine, error) {
 		return nil, err
 	}
 
-	return &Engine{cfg: cfg, dev: dev, be: be, lv: lv, os: osm, prot: prot, gen: gen}, nil
+	e := &Engine{cfg: cfg, dev: dev, be: be, lv: lv, os: osm, prot: prot, gen: gen}
+	e.crip, _ = prot.(mc.Crippler)
+	e.space, _ = prot.(mc.SpaceReporter)
+	e.llsStack = cfg.Protector == ProtectorLLS
+	e.maxRetry = int(osm.NumPages()) + 2
+	return e, nil
 }
 
 // Step services one software write from the workload. It returns false
@@ -384,21 +397,35 @@ func (e *Engine) Step() bool {
 	if e.stopped {
 		return false
 	}
-	return e.WriteTagged(e.gen.Next(), e.writes)
+	return e.writeTagged(e.gen.Next(), e.writes)
 }
 
 // Run services up to n writes, invoking onWrite (if non-nil) after each.
 // It returns the number of writes actually serviced.
 func (e *Engine) Run(n uint64, onWrite func(done uint64)) uint64 {
+	if onWrite == nil {
+		return e.RunN(n)
+	}
 	var done uint64
 	for done < n {
 		if !e.Step() {
 			break
 		}
 		done++
-		if onWrite != nil {
-			onWrite(done)
-		}
+		onWrite(done)
+	}
+	return done
+}
+
+// RunN services up to n writes with no per-write callback — the tight
+// loop experiment runners sit in. It returns the writes serviced.
+func (e *Engine) RunN(n uint64) uint64 {
+	if e.stopped {
+		return 0
+	}
+	var done uint64
+	for done < n && e.writeTagged(e.gen.Next(), e.writes) {
+		done++
 	}
 	return done
 }
@@ -419,18 +446,15 @@ func (e *Engine) SurvivalRate() float64 { return e.dev.SurvivalRate() }
 // UsableFraction returns the protector's software-usable capacity
 // fraction (Figures 7–8, Table II).
 func (e *Engine) UsableFraction() float64 {
-	if sr, ok := e.prot.(mc.SpaceReporter); ok {
-		return sr.SoftwareUsableFraction()
+	if e.space != nil {
+		return e.space.SoftwareUsableFraction()
 	}
 	return e.os.UsableFraction()
 }
 
 // Crippled reports whether wear leveling has ceased to function.
 func (e *Engine) Crippled() bool {
-	if c, ok := e.prot.(mc.Crippler); ok {
-		return c.Crippled()
-	}
-	return false
+	return e.crip != nil && e.crip.Crippled()
 }
 
 // Stopped reports whether the memory reached end of life.
@@ -509,10 +533,15 @@ func (e *Engine) WriteTagged(vblock, tag uint64) bool {
 	if e.stopped {
 		return false
 	}
-	maxRetry := int(e.os.NumPages()) + 2
+	return e.writeTagged(vblock, tag)
+}
+
+// writeTagged is the write path with the stopped check hoisted into the
+// callers' loops.
+func (e *Engine) writeTagged(vblock, tag uint64) bool {
 	var pa uint64
 	for attempt := 0; ; attempt++ {
-		if attempt > maxRetry {
+		if attempt > e.maxRetry {
 			e.stopped = true
 			return false
 		}
@@ -529,9 +558,9 @@ func (e *Engine) WriteTagged(vblock, tag uint64) bool {
 	}
 	e.writes++
 	e.prot.ResumePending()
-	if c, ok := e.prot.(mc.Crippler); !ok || !c.Crippled() {
+	if e.crip == nil || !e.crip.Crippled() {
 		e.lv.NoteWrite(pa, e.prot)
-	} else if e.cfg.Protector == ProtectorLLS {
+	} else if e.llsStack {
 		e.stopped = true
 	}
 	return true

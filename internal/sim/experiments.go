@@ -29,6 +29,12 @@ type Scale struct {
 	// MaxWritesPerBlock bounds each run (in writes per block of
 	// capacity); runs also end at their survival/usable floors.
 	MaxWritesPerBlock float64
+	// Workers is the fan-out of the experiment runners: each experiment
+	// enumerates its independent engine configurations as jobs and runs
+	// them on this many goroutines. 0 and 1 both run serially. Results
+	// are identical for every value — every engine owns its seed and
+	// shares nothing (enforced by TestParallelMatchesSerial).
+	Workers int
 }
 
 // TinyScale is for unit tests: a 64 KiB chip.
@@ -89,24 +95,40 @@ func (s Scale) benchmarkGen(name string) (*trace.Weighted, error) {
 const checkEvery = 1 << 10
 
 // runCurve drives an engine until metric() falls to floor or the budget
-// runs out, sampling (writes/block, metric) along the way.
+// runs out, sampling (writes/block, metric) along the way. The inner
+// batch is clamped to the remaining budget, so curves end exactly at
+// maxWrites at every scale (not up to checkEvery-1 writes past it).
 func runCurve(e *Engine, name string, metric func(*Engine) float64, floor float64, maxWrites uint64) stats.Curve {
 	curve := stats.Curve{Name: name}
 	curve.Append(0, metric(e))
 	for e.Writes() < maxWrites {
-		for i := 0; i < checkEvery; i++ {
-			if !e.Step() {
-				curve.Append(e.WritesPerBlock(), metric(e))
-				return curve
-			}
+		batch := maxWrites - e.Writes()
+		if batch > checkEvery {
+			batch = checkEvery
 		}
+		done := e.RunN(batch)
 		m := metric(e)
 		curve.Append(e.WritesPerBlock(), m)
-		if m <= floor {
+		if done < batch || m <= floor {
 			break
 		}
 	}
 	return curve
+}
+
+// curveJob wraps one engine build + runCurve drive as a runner job.
+func curveJob(name string, build func() (*Engine, error), metric func(*Engine) float64, floor float64, maxWrites uint64) Job[stats.Curve] {
+	return Job[stats.Curve]{
+		Name: name,
+		Run: func() (stats.Curve, uint64, error) {
+			e, err := build()
+			if err != nil {
+				return stats.Curve{}, 0, err
+			}
+			c := runCurve(e, name, metric, floor, maxWrites)
+			return c, e.Writes(), nil
+		},
+	}
 }
 
 // survival reads the survival-rate metric.
@@ -130,23 +152,39 @@ type Table1Row struct {
 // with the synthetic generators' measured CoVs alongside the paper's.
 type Table1Result struct {
 	Rows []Table1Row
+	// SimWrites is the total workload draws the experiment serviced.
+	SimWrites uint64
 }
 
-// Table1 measures each synthetic benchmark generator's write CoV.
+// TotalWrites reports the experiment's simulated write volume.
+func (r *Table1Result) TotalWrites() uint64 { return r.SimWrites }
+
+// Table1 measures each synthetic benchmark generator's write CoV, one
+// job per benchmark.
 func Table1(s Scale) (*Table1Result, error) {
-	res := &Table1Result{}
+	jobs := make([]Job[Table1Row], 0, len(trace.Benchmarks))
 	for _, spec := range trace.Benchmarks {
-		g, err := s.benchmarkGen(spec.Name)
-		if err != nil {
-			return nil, err
-		}
-		measured := trace.MeasureCoV(g, 64*s.Blocks)
-		res.Rows = append(res.Rows, Table1Row{
-			Name: spec.Name, Suite: spec.Suite, Description: spec.Description,
-			PaperCoV: spec.WriteCoV, MeasuredCoV: measured,
+		jobs = append(jobs, Job[Table1Row]{
+			Name: "table1/" + spec.Name,
+			Run: func() (Table1Row, uint64, error) {
+				g, err := s.benchmarkGen(spec.Name)
+				if err != nil {
+					return Table1Row{}, 0, err
+				}
+				draws := 64 * s.Blocks
+				measured := trace.MeasureCoV(g, draws)
+				return Table1Row{
+					Name: spec.Name, Suite: spec.Suite, Description: spec.Description,
+					PaperCoV: spec.WriteCoV, MeasuredCoV: measured,
+				}, draws, nil
+			},
 		})
 	}
-	return res, nil
+	rows, writes, err := CollectJobs(jobs, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{Rows: rows, SimWrites: writes}, nil
 }
 
 // String formats the table.
@@ -177,41 +215,57 @@ type Fig5Row struct {
 // Fig5Result reproduces Figure 5.
 type Fig5Result struct {
 	Rows []Fig5Row
+	// SimWrites is the total simulated writes across all runs.
+	SimWrites uint64
 }
 
+// TotalWrites reports the experiment's simulated write volume.
+func (r *Fig5Result) TotalWrites() uint64 { return r.SimWrites }
+
 // Fig5 measures each benchmark's lifetime under ECP6 + Start-Gap, with
-// and without WL-Reviver. Lifetime is writes until 30% of the memory's
-// capacity is lost (§IV-B: "an entire memory is considered unavailable
-// when it loses 30% of its space"): dead blocks cost a page each without
-// a revival framework, and one page per ~15 hidden failures with
-// WL-Reviver, so the metric tracks the paper's block-failure lifetime
-// while staying well-defined across both OS behaviours.
+// and without WL-Reviver — one job per (benchmark, arm), 16 independent
+// engines. Lifetime is writes until 30% of the memory's capacity is lost
+// (§IV-B: "an entire memory is considered unavailable when it loses 30%
+// of its space"): dead blocks cost a page each without a revival
+// framework, and one page per ~15 hidden failures with WL-Reviver, so
+// the metric tracks the paper's block-failure lifetime while staying
+// well-defined across both OS behaviours.
 func Fig5(s Scale) (*Fig5Result, error) {
-	res := &Fig5Result{}
+	var jobs []Job[float64]
 	for _, spec := range trace.Benchmarks {
-		row := Fig5Row{Benchmark: spec.Name, CoV: spec.WriteCoV}
 		for _, withWLR := range []bool{false, true} {
-			gen, err := s.benchmarkGen(spec.Name)
-			if err != nil {
-				return nil, err
-			}
-			cfg := s.config()
-			if withWLR {
-				cfg.Protector = ProtectorWLReviver
-			} else {
-				cfg.Protector = ProtectorNone
-			}
-			e, err := NewEngine(cfg, gen)
-			if err != nil {
-				return nil, err
-			}
-			curve := runCurve(e, spec.Name, survival, 0.70, s.maxWrites())
-			life := curve.Points[len(curve.Points)-1].X
-			if withWLR {
-				row.LifetimeWLR = life
-			} else {
-				row.LifetimeNoWLR = life
-			}
+			jobs = append(jobs, Job[float64]{
+				Name: fmt.Sprintf("fig5/%s/wlr=%v", spec.Name, withWLR),
+				Run: func() (float64, uint64, error) {
+					gen, err := s.benchmarkGen(spec.Name)
+					if err != nil {
+						return 0, 0, err
+					}
+					cfg := s.config()
+					if withWLR {
+						cfg.Protector = ProtectorWLReviver
+					} else {
+						cfg.Protector = ProtectorNone
+					}
+					e, err := NewEngine(cfg, gen)
+					if err != nil {
+						return 0, 0, err
+					}
+					curve := runCurve(e, spec.Name, survival, 0.70, s.maxWrites())
+					return curve.Points[len(curve.Points)-1].X, e.Writes(), nil
+				},
+			})
+		}
+	}
+	lives, writes, err := CollectJobs(jobs, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{SimWrites: writes}
+	for i, spec := range trace.Benchmarks {
+		row := Fig5Row{
+			Benchmark: spec.Name, CoV: spec.WriteCoV,
+			LifetimeNoWLR: lives[2*i], LifetimeWLR: lives[2*i+1],
 		}
 		if row.LifetimeNoWLR > 0 {
 			row.ImprovementPct = 100 * (row.LifetimeWLR - row.LifetimeNoWLR) / row.LifetimeNoWLR
@@ -240,13 +294,18 @@ func (r *Fig5Result) String() string {
 type Fig6Result struct {
 	Workload string
 	Curves   []stats.Curve
+	// SimWrites is the total simulated writes across all runs.
+	SimWrites uint64
 }
 
+// TotalWrites reports the experiment's simulated write volume.
+func (r *Fig6Result) TotalWrites() uint64 { return r.SimWrites }
+
 // Fig6 produces capacity-survival curves (down to 70%) for ECP6/PAYG,
-// each bare, with Start-Gap, and with Start-Gap + WL-Reviver. The paper
-// plots block survival; with the OS retirement cascade modelled, the
-// equivalent decay is expressed in usable capacity (EXPERIMENTS.md
-// discusses the correspondence).
+// each bare, with Start-Gap, and with Start-Gap + WL-Reviver — one job
+// per configuration. The paper plots block survival; with the OS
+// retirement cascade modelled, the equivalent decay is expressed in
+// usable capacity (EXPERIMENTS.md discusses the correspondence).
 func Fig6(s Scale, workload string) (*Fig6Result, error) {
 	type variant struct {
 		name  string
@@ -262,23 +321,25 @@ func Fig6(s Scale, workload string) (*Fig6Result, error) {
 		{"ECP6-SG-WLR", ECCECP6, LevelerStartGap, ProtectorWLReviver},
 		{"PAYG-SG-WLR", ECCPAYG, LevelerStartGap, ProtectorWLReviver},
 	}
-	res := &Fig6Result{Workload: workload}
+	jobs := make([]Job[stats.Curve], 0, len(variants))
 	for _, v := range variants {
-		gen, err := s.benchmarkGen(workload)
-		if err != nil {
-			return nil, err
-		}
-		cfg := s.config()
-		cfg.ECC = v.ecc
-		cfg.Leveler = v.level
-		cfg.Protector = v.prot
-		e, err := NewEngine(cfg, gen)
-		if err != nil {
-			return nil, err
-		}
-		res.Curves = append(res.Curves, runCurve(e, v.name, usable, 0.70, s.maxWrites()))
+		jobs = append(jobs, curveJob(v.name, func() (*Engine, error) {
+			gen, err := s.benchmarkGen(workload)
+			if err != nil {
+				return nil, err
+			}
+			cfg := s.config()
+			cfg.ECC = v.ecc
+			cfg.Leveler = v.level
+			cfg.Protector = v.prot
+			return NewEngine(cfg, gen)
+		}, usable, 0.70, s.maxWrites()))
 	}
-	return res, nil
+	curves, writes, err := CollectJobs(jobs, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{Workload: workload, Curves: curves, SimWrites: writes}, nil
 }
 
 // String formats the curves as a column table sampled at common points.
@@ -293,35 +354,46 @@ func (r *Fig6Result) String() string {
 type Fig7Result struct {
 	Workload string
 	Curves   []stats.Curve
+	// SimWrites is the total simulated writes across all runs.
+	SimWrites uint64
 }
 
-// Fig7 produces the usable-space comparison under ECP6 + Start-Gap.
+// TotalWrites reports the experiment's simulated write volume.
+func (r *Fig7Result) TotalWrites() uint64 { return r.SimWrites }
+
+// Fig7 produces the usable-space comparison under ECP6 + Start-Gap, one
+// job per protection arm.
 func Fig7(s Scale, workload string) (*Fig7Result, error) {
-	res := &Fig7Result{Workload: workload}
-	mk := func(name string, prot ProtectorKind, reserve float64) error {
-		gen, err := s.benchmarkGen(workload)
-		if err != nil {
-			return err
-		}
-		cfg := s.config()
-		cfg.Protector = prot
-		cfg.FreepReserveFraction = reserve
-		e, err := NewEngine(cfg, gen)
-		if err != nil {
-			return err
-		}
-		res.Curves = append(res.Curves, runCurve(e, name, usable, 0.50, s.maxWrites()))
-		return nil
+	arms := []struct {
+		name    string
+		prot    ProtectorKind
+		reserve float64
+	}{{"WL-Reviver", ProtectorWLReviver, 0}}
+	for _, pct := range []float64{0, 0.05, 0.10, 0.15} {
+		arms = append(arms, struct {
+			name    string
+			prot    ProtectorKind
+			reserve float64
+		}{fmt.Sprintf("FREE-p(%.0f%%)", pct*100), ProtectorFREEp, pct})
 	}
-	if err := mk("WL-Reviver", ProtectorWLReviver, 0); err != nil {
+	jobs := make([]Job[stats.Curve], 0, len(arms))
+	for _, a := range arms {
+		jobs = append(jobs, curveJob(a.name, func() (*Engine, error) {
+			gen, err := s.benchmarkGen(workload)
+			if err != nil {
+				return nil, err
+			}
+			cfg := s.config()
+			cfg.Protector = a.prot
+			cfg.FreepReserveFraction = a.reserve
+			return NewEngine(cfg, gen)
+		}, usable, 0.50, s.maxWrites()))
+	}
+	curves, writes, err := CollectJobs(jobs, s.Workers)
+	if err != nil {
 		return nil, err
 	}
-	for _, pct := range []float64{0, 0.05, 0.10, 0.15} {
-		if err := mk(fmt.Sprintf("FREE-p(%.0f%%)", pct*100), ProtectorFREEp, pct); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return &Fig7Result{Workload: workload, Curves: curves, SimWrites: writes}, nil
 }
 
 // String formats the curves.
@@ -336,28 +408,37 @@ func (r *Fig7Result) String() string {
 type Fig8Result struct {
 	Workload string
 	Curves   []stats.Curve
+	// SimWrites is the total simulated writes across all runs.
+	SimWrites uint64
 }
 
-// Fig8 produces the WLR-vs-LLS usable-space comparison.
+// TotalWrites reports the experiment's simulated write volume.
+func (r *Fig8Result) TotalWrites() uint64 { return r.SimWrites }
+
+// Fig8 produces the WLR-vs-LLS usable-space comparison, one job per
+// scheme.
 func Fig8(s Scale, workload string) (*Fig8Result, error) {
-	res := &Fig8Result{Workload: workload}
-	for _, v := range []struct {
+	arms := []struct {
 		name string
 		prot ProtectorKind
-	}{{"WL-Reviver", ProtectorWLReviver}, {"LLS", ProtectorLLS}} {
-		gen, err := s.benchmarkGen(workload)
-		if err != nil {
-			return nil, err
-		}
-		cfg := s.config()
-		cfg.Protector = v.prot
-		e, err := NewEngine(cfg, gen)
-		if err != nil {
-			return nil, err
-		}
-		res.Curves = append(res.Curves, runCurve(e, v.name, usable, 0.50, s.maxWrites()))
+	}{{"WL-Reviver", ProtectorWLReviver}, {"LLS", ProtectorLLS}}
+	jobs := make([]Job[stats.Curve], 0, len(arms))
+	for _, a := range arms {
+		jobs = append(jobs, curveJob(a.name, func() (*Engine, error) {
+			gen, err := s.benchmarkGen(workload)
+			if err != nil {
+				return nil, err
+			}
+			cfg := s.config()
+			cfg.Protector = a.prot
+			return NewEngine(cfg, gen)
+		}, usable, 0.50, s.maxWrites()))
 	}
-	return res, nil
+	curves, writes, err := CollectJobs(jobs, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{Workload: workload, Curves: curves, SimWrites: writes}, nil
 }
 
 // String formats the curves.
@@ -386,7 +467,12 @@ type Table2Cell struct {
 // Table2Result reproduces Table II.
 type Table2Result struct {
 	Cells []Table2Cell
+	// SimWrites is the total simulated writes across all runs.
+	SimWrites uint64
 }
+
+// TotalWrites reports the experiment's simulated write volume.
+func (r *Table2Result) TotalWrites() uint64 { return r.SimWrites }
 
 // requestCounts pulls cumulative (requests, accesses) from a protector.
 func requestCounts(p mc.Protector) (uint64, uint64) {
@@ -404,60 +490,78 @@ func requestCounts(p mc.Protector) (uint64, uint64) {
 	return 0, 0
 }
 
+// table2Run drives one (scheme, workload) engine through the failure-
+// ratio ladder, one cell per threshold reached.
+func table2Run(s Scale, scheme string, prot ProtectorKind, workload string) ([]Table2Cell, uint64, error) {
+	ratios := []float64{0.10, 0.20, 0.30}
+	gen, err := s.benchmarkGen(workload)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := s.config()
+	cfg.Protector = prot
+	cfg.CacheKB = 32
+	e, err := NewEngine(cfg, gen)
+	if err != nil {
+		return nil, 0, err
+	}
+	var cells []Table2Cell
+	var prevReq, prevAcc uint64
+	budget := s.maxWrites()
+	for _, ratio := range ratios {
+		reached := true
+		for float64(e.Device().DeadBlocks())/float64(e.Device().NumBlocks()) < ratio {
+			batch := budget - e.Writes()
+			if batch > checkEvery {
+				batch = checkEvery
+			}
+			if batch == 0 || e.RunN(batch) == 0 {
+				reached = false
+				break
+			}
+		}
+		req, acc := requestCounts(e.Protector())
+		cell := Table2Cell{
+			FailureRatio: ratio, Scheme: scheme, Workload: workload,
+			UsableSpacePct: 100 * e.UsableFraction(), Reached: reached,
+		}
+		if req > prevReq {
+			cell.AccessTime = float64(acc-prevAcc) / float64(req-prevReq)
+		}
+		prevReq, prevAcc = req, acc
+		cells = append(cells, cell)
+		if !reached {
+			break
+		}
+	}
+	return cells, e.Writes(), nil
+}
+
 // Table2 measures average access time (32 KB remap cache) and software-
 // usable space at 10/20/30% failed blocks, for LLS and WL-Reviver on the
-// given workloads.
+// given workloads — one job per (scheme, workload) engine.
 func Table2(s Scale, workloads []string) (*Table2Result, error) {
-	ratios := []float64{0.10, 0.20, 0.30}
-	res := &Table2Result{}
+	var jobs []Job[[]Table2Cell]
 	for _, v := range []struct {
 		name string
 		prot ProtectorKind
 	}{{"LLS", ProtectorLLS}, {"WL-Reviver", ProtectorWLReviver}} {
 		for _, w := range workloads {
-			gen, err := s.benchmarkGen(w)
-			if err != nil {
-				return nil, err
-			}
-			cfg := s.config()
-			cfg.Protector = v.prot
-			cfg.CacheKB = 32
-			e, err := NewEngine(cfg, gen)
-			if err != nil {
-				return nil, err
-			}
-			var prevReq, prevAcc uint64
-			budget := s.maxWrites()
-			for _, ratio := range ratios {
-				reached := true
-				for float64(e.Device().DeadBlocks())/float64(e.Device().NumBlocks()) < ratio {
-					advanced := false
-					for i := 0; i < checkEvery; i++ {
-						if !e.Step() {
-							break
-						}
-						advanced = true
-					}
-					if !advanced || e.Writes() >= budget {
-						reached = false
-						break
-					}
-				}
-				req, acc := requestCounts(e.Protector())
-				cell := Table2Cell{
-					FailureRatio: ratio, Scheme: v.name, Workload: w,
-					UsableSpacePct: 100 * e.UsableFraction(), Reached: reached,
-				}
-				if req > prevReq {
-					cell.AccessTime = float64(acc-prevAcc) / float64(req-prevReq)
-				}
-				prevReq, prevAcc = req, acc
-				res.Cells = append(res.Cells, cell)
-				if !reached {
-					break
-				}
-			}
+			jobs = append(jobs, Job[[]Table2Cell]{
+				Name: fmt.Sprintf("table2/%s/%s", v.name, w),
+				Run: func() ([]Table2Cell, uint64, error) {
+					return table2Run(s, v.name, v.prot, w)
+				},
+			})
 		}
+	}
+	cellGroups, writes, err := CollectJobs(jobs, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{SimWrites: writes}
+	for _, cells := range cellGroups {
+		res.Cells = append(res.Cells, cells...)
 	}
 	return res, nil
 }

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func squareJobs(n int) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Name: fmt.Sprintf("sq-%d", i),
+			Run:  func() (int, uint64, error) { return i * i, uint64(i), nil },
+		}
+	}
+	return jobs
+}
+
+func TestRunJobsOrderAndValues(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		results := RunJobs(squareJobs(17), workers)
+		if len(results) != 17 {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, r.Err)
+			}
+			if r.Value != i*i || r.Writes != uint64(i) || r.Name != fmt.Sprintf("sq-%d", i) {
+				t.Errorf("workers=%d slot %d: got (%q, %d, %d)", workers, i, r.Name, r.Value, r.Writes)
+			}
+		}
+	}
+}
+
+func TestRunJobsEmpty(t *testing.T) {
+	if got := RunJobs[int](nil, 4); len(got) != 0 {
+		t.Errorf("nil jobs gave %d results", len(got))
+	}
+}
+
+func TestRunJobsErrorCarriesName(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job[int]{
+		{Name: "ok", Run: func() (int, uint64, error) { return 1, 0, nil }},
+		{Name: "bad", Run: func() (int, uint64, error) { return 0, 0, boom }},
+	}
+	for _, workers := range []int{1, 2} {
+		results := RunJobs(jobs, workers)
+		if results[0].Err != nil || results[0].Value != 1 {
+			t.Errorf("workers=%d: good job corrupted: %+v", workers, results[0])
+		}
+		if !errors.Is(results[1].Err, boom) {
+			t.Errorf("workers=%d: error lost: %v", workers, results[1].Err)
+		}
+		if got := results[1].Err.Error(); got != "bad: boom" {
+			t.Errorf("workers=%d: error not labelled: %q", workers, got)
+		}
+	}
+}
+
+func TestCollectJobsFirstErrorInJobOrder(t *testing.T) {
+	// Two failures: CollectJobs must surface the earliest job's error no
+	// matter which finishes first.
+	jobs := []Job[int]{
+		{Name: "a", Run: func() (int, uint64, error) { return 0, 0, errors.New("first") }},
+		{Name: "b", Run: func() (int, uint64, error) { return 0, 0, errors.New("second") }},
+	}
+	for _, workers := range []int{1, 2} {
+		_, _, err := CollectJobs(jobs, workers)
+		if err == nil || err.Error() != "a: first" {
+			t.Errorf("workers=%d: got %v, want a: first", workers, err)
+		}
+	}
+}
+
+func TestCollectJobsSumsWrites(t *testing.T) {
+	values, writes, err := CollectJobs(squareJobs(10), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 10 {
+		t.Fatalf("%d values", len(values))
+	}
+	if writes != 45 { // 0+1+...+9
+		t.Errorf("writes = %d, want 45", writes)
+	}
+}
+
+func TestRunJobsActuallyFansOut(t *testing.T) {
+	// With more workers than jobs need, two jobs that wait on each other
+	// can only complete if they really run concurrently.
+	var entered atomic.Int32
+	release := make(chan struct{})
+	rendezvous := func() (int, uint64, error) {
+		if entered.Add(1) == 2 {
+			close(release)
+		}
+		<-release
+		return 0, 0, nil
+	}
+	jobs := []Job[int]{{Name: "l", Run: rendezvous}, {Name: "r", Run: rendezvous}}
+	done := make(chan struct{})
+	go func() { RunJobs(jobs, 2); close(done) }()
+	<-done // deadlocks (test timeout) if the pool were serial
+}

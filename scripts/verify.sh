@@ -1,0 +1,23 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate (also: `make verify`).
+#
+# Runs the tier-1 checks from ROADMAP.md plus vet and the race detector
+# over the concurrent experiment runner. Keep this green before every
+# commit; the race pass is what keeps internal/sim's worker pool honest.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/sim/"
+go test -race ./internal/sim/
+
+echo "verify: all checks passed"
