@@ -74,8 +74,8 @@ func run() error {
 		defer pprof.StopCPUProfile()
 	}
 
-	// The banner mentions workers only when parallel, so -workers 1
-	// reproduces the historical serial output byte for byte.
+	// The banner mentions workers only when parallel, so the output is
+	// byte-identical across -workers values apart from this header.
 	parallelNote := ""
 	if scale.Workers > 1 {
 		parallelNote = fmt.Sprintf(" workers=%d", scale.Workers)

@@ -419,12 +419,14 @@ func (e *Engine) Run(n uint64, onWrite func(done uint64)) uint64 {
 
 // RunN services up to n writes with no per-write callback — the tight
 // loop experiment runners sit in. It returns the writes serviced.
+//
+// stopped is rechecked every iteration, not just at entry: writeTagged
+// can set it while still reporting the write as serviced (the LLS
+// crippling write is terminal), and the batch must halt there exactly
+// as a Step-driven loop would.
 func (e *Engine) RunN(n uint64) uint64 {
-	if e.stopped {
-		return 0
-	}
 	var done uint64
-	for done < n && e.writeTagged(e.gen.Next(), e.writes) {
+	for done < n && !e.stopped && e.writeTagged(e.gen.Next(), e.writes) {
 		done++
 	}
 	return done

@@ -121,6 +121,52 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunNMatchesStepAtTerminalStop guards the LLS terminal path:
+// writeTagged sets stopped while reporting the crippling write as
+// serviced, and RunN must halt its batch right there, exactly as a
+// Step-driven loop does (regression: RunN once checked stopped only at
+// entry and ran up to checkEvery-1 writes past the terminal stop).
+func TestRunNMatchesStepAtTerminalStop(t *testing.T) {
+	build := func() *Engine {
+		return tinyEngine(t, func(c *Config) { c.Protector = ProtectorLLS })
+	}
+	const budget uint64 = 2_000_000
+
+	step := build()
+	var stepWrites uint64
+	for stepWrites < budget && step.Step() {
+		stepWrites++
+	}
+	if !step.Stopped() {
+		t.Fatalf("LLS engine still running after %d writes; terminal path not exercised", budget)
+	}
+
+	batched := build()
+	var batchWrites uint64
+	for batchWrites < budget {
+		n := budget - batchWrites
+		if n > checkEvery {
+			n = checkEvery
+		}
+		done := batched.RunN(n)
+		batchWrites += done
+		if done < n {
+			break
+		}
+	}
+
+	if stepWrites != batchWrites || step.Writes() != batched.Writes() {
+		t.Errorf("Step loop serviced %d (engine count %d); RunN batches serviced %d (engine count %d)",
+			stepWrites, step.Writes(), batchWrites, batched.Writes())
+	}
+	if !batched.Stopped() {
+		t.Error("RunN-driven engine not stopped")
+	}
+	if d1, d2 := step.Device().DeadBlocks(), batched.Device().DeadBlocks(); d1 != d2 {
+		t.Errorf("device wear diverged: %d vs %d dead blocks", d1, d2)
+	}
+}
+
 func TestAccessRatioTracked(t *testing.T) {
 	e := tinyEngine(t, func(c *Config) { c.CacheKB = 4 })
 	e.Run(300_000, nil)
