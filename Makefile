@@ -1,6 +1,6 @@
 # Convenience targets; scripts/verify.sh is the canonical gate.
 
-.PHONY: build test verify bench paper
+.PHONY: build test verify bench microbench paper
 
 build:
 	go build ./...
@@ -8,13 +8,21 @@ build:
 test:
 	go test ./...
 
-# Full verification gate: vet + build + tests + race over the parallel
-# experiment runner. ROADMAP.md's tier-1 line points here.
+# Full verification gate: gofmt + vet + wlvet (determinism invariants)
+# + build + tests + race over every package. ROADMAP.md's tier-1 line
+# points here.
 verify:
 	sh scripts/verify.sh
 
-# Experiment-harness benchmarks (result-shape metrics + hot-path ns/op).
+# Perf-trajectory snapshot: run the full experiment suite at the reduced
+# tiny scale and record per-experiment wall-clock and writes/sec as
+# BENCH_<timestamp>.json. EXPERIMENTS.md documents the JSON schema;
+# compare snapshots across commits to track the hot path.
 bench:
+	go run ./cmd/paper -scale tiny -exp all -benchjson BENCH_$(shell date +%Y%m%d-%H%M%S).json
+
+# Go-test microbenchmarks (result-shape metrics + hot-path ns/op).
+microbench:
 	go test -bench=. -benchmem -run '^$$' ./...
 
 # Regenerate the paper's tables and figures at bench scale on all CPUs.

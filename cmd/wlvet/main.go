@@ -1,0 +1,114 @@
+// Command wlvet runs the repository's determinism-invariant analyzers
+// (internal/analysis) over the module and exits non-zero on findings.
+//
+// Usage:
+//
+//	wlvet [-rules] [packages]
+//
+// The package arguments are accepted for command-line symmetry with go
+// vet ("go run ./cmd/wlvet ./..."), but the tool always analyzes whole
+// directories: "./..." (or no argument) means the entire module, any
+// other argument is a directory to analyze recursively.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error. Findings
+// print one per line as
+//
+//	path:line:col: message [rule]
+//
+// and can be silenced per site with `//lint:ignore <rule> <reason>` on
+// the offending line or the line above. scripts/verify.sh runs wlvet
+// between go vet and go build; see README.md "Static analysis".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wlreviver/internal/analysis"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the rules and exit")
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range analysis.Rules() {
+			fmt.Printf("%-22s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "wlvet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	roots := args
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	findings := 0
+	for _, root := range roots {
+		dir, err := resolveRoot(root)
+		if err != nil {
+			return err
+		}
+		pkgs, err := analysis.Load(dir)
+		if err != nil {
+			return err
+		}
+		for _, d := range analysis.Run(pkgs, analysis.Rules()) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "wlvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// resolveRoot maps a package-pattern-ish argument to a directory.
+// "./..." means the module root, located by walking up from the working
+// directory to the nearest go.mod; anything else is used as a directory
+// after trimming a trailing "/..." wildcard.
+func resolveRoot(arg string) (string, error) {
+	if arg == "./..." || arg == "..." {
+		return moduleRoot()
+	}
+	if len(arg) > 4 && arg[len(arg)-4:] == "/..." {
+		arg = arg[:len(arg)-4]
+	}
+	info, err := os.Stat(arg)
+	if err != nil {
+		return "", err
+	}
+	if !info.IsDir() {
+		return "", fmt.Errorf("%s: not a directory", arg)
+	}
+	return arg, nil
+}
+
+// moduleRoot walks up from the working directory to the directory
+// containing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,257 @@
+// Package analysis is a zero-dependency static-analysis engine that
+// enforces the repository's determinism invariants.
+//
+// The reproduction's headline guarantee is bit-exact determinism: every
+// figure and table must be byte-identical across -workers values and
+// across runs from the same seed. The dynamic checks (the parallel-vs-
+// serial test and the race detector) catch violations at run time; the
+// rules in this package catch them at `make verify` time, before a
+// wall-clock read or an unseeded random draw ever produces a subtly
+// wrong curve.
+//
+// The engine is built on the standard library only (go/ast, go/parser,
+// go/token) so the module stays dependency-free. Rules implement the
+// Rule interface and report Diagnostics; findings can be suppressed at
+// a single site with a justifying comment:
+//
+//	//lint:ignore <rule-name> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory — a bare ignore is itself a finding.
+//
+// The cmd/wlvet driver walks the module and exits non-zero on findings;
+// scripts/verify.sh runs it between `go vet` and `go build`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired and a
+// human-readable message.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the diagnostic as "path:line:col: message [rule]".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Msg, d.Rule)
+}
+
+// File is one parsed source file plus the context rules need: its
+// module-relative path and a back pointer to the package it belongs to.
+type File struct {
+	// Path is relative to the module root and slash-separated, e.g.
+	// "internal/sim/engine.go". Rules scope themselves by prefix.
+	Path string
+	AST  *ast.File
+	Pkg  *Package
+}
+
+// Package groups the files of one directory (one Go package, test files
+// included) under a shared FileSet.
+type Package struct {
+	// Dir is the module-relative, slash-separated directory, e.g.
+	// "internal/sim". The module root is "".
+	Dir   string
+	Fset  *token.FileSet
+	Files []*File
+}
+
+// Rule is one determinism invariant. Check is called once per file and
+// reports findings through report; the engine attaches the rule name,
+// resolves positions and applies //lint:ignore suppressions.
+type Rule interface {
+	// Name is the short identifier used in diagnostics and in
+	// //lint:ignore comments, e.g. "no-wallclock".
+	Name() string
+	// Doc is a one-line description of the invariant.
+	Doc() string
+	// Check inspects one file. report may be called any number of
+	// times with the offending node and a printf-style message.
+	Check(f *File, report func(node ast.Node, format string, args ...any))
+}
+
+// Rules returns the repository's rule set, in diagnostic-name order.
+func Rules() []Rule {
+	return []Rule{
+		&ConfinedGoroutines{},
+		&NoGlobalRand{},
+		&NoWallclock{},
+		&OrderedMapOutput{},
+		&SeededConstructors{},
+	}
+}
+
+// IsTest reports whether the file is a _test.go file.
+func (f *File) IsTest() bool { return strings.HasSuffix(f.Path, "_test.go") }
+
+// In reports whether the file lives in dir or below it, e.g.
+// f.In("internal/sim").
+func (f *File) In(dir string) bool {
+	return f.Path == dir || strings.HasPrefix(f.Path, dir+"/")
+}
+
+// ImportName returns the identifier the file uses for the import with
+// the given path ("time" for `import "time"`, "t" for `import t "time"`)
+// and whether the file imports it at all. Dot and blank imports return
+// ok=false: their names never qualify a selector.
+func (f *File) ImportName(path string) (name string, ok bool) {
+	for _, imp := range f.AST.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." || imp.Name.Name == "_" {
+				return "", false
+			}
+			return imp.Name.Name, true
+		}
+		base := path
+		if i := strings.LastIndex(base, "/"); i >= 0 {
+			base = base[i+1:]
+		}
+		return base, true
+	}
+	return "", false
+}
+
+// LookupStruct finds a struct type declared anywhere in the package by
+// name. Used by rules that need shallow field resolution (e.g. "does
+// this config struct carry a Seed?") without a full type checker.
+func (p *Package) LookupStruct(name string) *ast.StructType {
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Load parses every .go file under root, grouped by directory. It skips
+// hidden directories, vendor and testdata trees — testdata holds the
+// analyzer's own fixtures, which intentionally violate the rules. The
+// returned packages are sorted by directory, files by path.
+func Load(root string) ([]*Package, error) {
+	byDir := map[string]*Package{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		dir := ""
+		if i := strings.LastIndex(rel, "/"); i >= 0 {
+			dir = rel[:i]
+		}
+		pkg := byDir[dir]
+		if pkg == nil {
+			pkg = &Package{Dir: dir, Fset: token.NewFileSet()}
+			byDir[dir] = pkg
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// ParseComments keeps //lint:ignore directives; object
+		// resolution (on by default) lets rules chase local
+		// identifiers to their declarations.
+		astf, err := parser.ParseFile(pkg.Fset, rel, src, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		pkg.Files = append(pkg.Files, &File{Path: rel, AST: astf, Pkg: pkg})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(byDir))
+	for _, p := range byDir {
+		sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Path < p.Files[j].Path })
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	return pkgs, nil
+}
+
+// Run applies every rule to every file and returns the surviving
+// diagnostics, sorted by position. Findings carrying a well-formed
+// //lint:ignore are dropped; malformed ignore directives (missing rule
+// or missing reason) are reported under the "ignore-syntax" rule so a
+// bare ignore can never silently disable the gate.
+func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			sup := suppressions(pkg.Fset, f)
+			for _, bad := range sup.malformed {
+				diags = append(diags, bad)
+			}
+			for _, r := range rules {
+				rule := r // capture for the closure
+				r.Check(f, func(node ast.Node, format string, args ...any) {
+					pos := pkg.Fset.Position(node.Pos())
+					if sup.covers(rule.Name(), pos.Line) {
+						return
+					}
+					diags = append(diags, Diagnostic{
+						Pos:  pos,
+						Rule: rule.Name(),
+						Msg:  fmt.Sprintf(format, args...),
+					})
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE matches an expected-diagnostic comment in a fixture:
+//
+//	// want <rule> "message substring"
+var wantRE = regexp.MustCompile(`^// want ([a-z-]+) "([^"]*)"$`)
+
+// expectation is one `// want` comment: a rule must fire on this line
+// with a message containing substr.
+type expectation struct {
+	file   string
+	line   int
+	rule   string
+	substr string
+}
+
+// TestGolden runs every rule over the fixture tree in testdata/src —
+// a miniature module whose layout (cmd/, internal/sim, internal/pcm,
+// ...) exercises the rules' path scoping — and checks the diagnostics
+// against the fixtures' `// want` comments, both directions: every
+// finding expected, every expectation found. Suppressed sites carry
+// //lint:ignore directives and no want comment, so an ignored finding
+// leaking through fails the test too.
+func TestGolden(t *testing.T) {
+	pkgs, err := Load("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages under testdata/src")
+	}
+
+	var wants []expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, expectation{
+						file: f.Path, line: pos.Line, rule: m[1], substr: m[2],
+					})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("no // want comments found in fixtures")
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range Run(pkgs, Rules()) {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+				w.rule == d.Rule && strings.Contains(d.Msg, w.substr) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected %s finding matching %q, got none", w.file, w.line, w.rule, w.substr)
+		}
+	}
+}
+
+// TestGoldenCoversEveryRule pins the acceptance criterion: each shipped
+// rule has at least one positive case (a want comment) and at least one
+// suppression exercising its //lint:ignore path in the fixtures.
+func TestGoldenCoversEveryRule(t *testing.T) {
+	pkgs, err := Load("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	positive := map[string]bool{}
+	suppressed := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					if m := wantRE.FindStringSubmatch(c.Text); m != nil {
+						positive[m[1]] = true
+					}
+					if rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), ignorePrefix); ok {
+						if fields := strings.Fields(rest); len(fields) >= 2 {
+							suppressed[fields[0]] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, r := range Rules() {
+		if !positive[r.Name()] {
+			t.Errorf("rule %s has no positive fixture case", r.Name())
+		}
+		if !suppressed[r.Name()] {
+			t.Errorf("rule %s has no suppressed fixture case", r.Name())
+		}
+	}
+}
+
+// parseOne wraps a source string into a single-file package at the
+// given module-relative path.
+func parseOne(t *testing.T, path, src string) []*Package {
+	t.Helper()
+	pkg := &Package{Dir: dirOf(path), Fset: token.NewFileSet()}
+	astf, err := parser.ParseFile(pkg.Fset, path, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.Files = []*File{{Path: path, AST: astf, Pkg: pkg}}
+	return []*Package{pkg}
+}
+
+func dirOf(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return ""
+}
+
+// TestMalformedIgnoreIsReported pins the no-silent-disable property: a
+// //lint:ignore with a missing reason (or missing rule) cannot suppress
+// anything and is itself a finding.
+func TestMalformedIgnoreIsReported(t *testing.T) {
+	src := `package sim
+
+import "time"
+
+func Bad() {
+	//lint:ignore no-wallclock
+	_ = time.Now()
+}
+`
+	pkgs := parseOne(t, "internal/sim/bad.go", src)
+	diags := Run(pkgs, Rules())
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	got := strings.Join(rules, ",")
+	// Both the malformed directive and the undimmed wall-clock call
+	// must surface.
+	if !strings.Contains(got, "ignore-syntax") || !strings.Contains(got, "no-wallclock") {
+		t.Fatalf("want ignore-syntax and no-wallclock findings, got %v", diags)
+	}
+}
+
+// TestIgnoreWrongRuleDoesNotSuppress: a directive names exactly one
+// rule; it must not silence a different one.
+func TestIgnoreWrongRuleDoesNotSuppress(t *testing.T) {
+	src := `package sim
+
+import "time"
+
+func Bad() {
+	//lint:ignore no-global-rand reason that names the wrong rule
+	_ = time.Now()
+}
+`
+	pkgs := parseOne(t, "internal/sim/bad.go", src)
+	diags := Run(pkgs, Rules())
+	if len(diags) != 1 || diags[0].Rule != "no-wallclock" {
+		t.Fatalf("want exactly one no-wallclock finding, got %v", diags)
+	}
+}
+
+// TestAliasedImport: the rules resolve selector qualifiers through the
+// file's import table, so an aliased import cannot dodge them.
+func TestAliasedImport(t *testing.T) {
+	src := `package sim
+
+import clock "time"
+
+func Bad() {
+	_ = clock.Now()
+}
+`
+	pkgs := parseOne(t, "internal/sim/bad.go", src)
+	diags := Run(pkgs, Rules())
+	if len(diags) != 1 || diags[0].Rule != "no-wallclock" {
+		t.Fatalf("want one no-wallclock finding through the alias, got %v", diags)
+	}
+}
+
+// TestShadowedPackageName: a local variable named like the package must
+// not trigger the rule.
+func TestShadowedPackageName(t *testing.T) {
+	src := `package sim
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func Fine() {
+	var time clock
+	_ = time.Now()
+}
+`
+	pkgs := parseOne(t, "internal/sim/fine.go", src)
+	if diags := Run(pkgs, Rules()); len(diags) != 0 {
+		t.Fatalf("want no findings for shadowed name, got %v", diags)
+	}
+}
+
+// TestDiagnosticString pins the driver's output contract: path:line:col,
+// message, rule in brackets — the format the acceptance criterion and
+// editors' error matchers rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:  token.Position{Filename: "internal/sim/engine.go", Line: 7, Column: 3},
+		Rule: "no-wallclock",
+		Msg:  "wall-clock call",
+	}
+	want := "internal/sim/engine.go:7:3: wall-clock call [no-wallclock]"
+	if got := d.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	_ = fmt.Sprintf("%s", d) // Diagnostic must satisfy fmt.Stringer for the driver
+}

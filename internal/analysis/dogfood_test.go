@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDogfood runs the full rule set over the repository's own tree and
+// asserts zero findings. This is the self-check behind the verify gate:
+// a regression in either direction — a rule that starts misfiring on
+// clean code, or code that starts violating an invariant — fails
+// `go test ./...` before it ever reaches `make verify`.
+func TestDogfood(t *testing.T) {
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("suspiciously few packages (%d) loaded from %s", len(pkgs), root)
+	}
+	for _, d := range Run(pkgs, Rules()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// findModuleRoot walks up from the test's working directory (the
+// package directory under `go test`) to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

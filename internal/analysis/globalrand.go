@@ -1,0 +1,67 @@
+package analysis
+
+import "go/ast"
+
+// randPkgs are the import paths of the standard library's random-number
+// packages. Both share the problem: their convenience functions draw
+// from a process-global, implicitly seeded source, so two runs (or two
+// worker interleavings) disagree.
+var randPkgs = []string{"math/rand", "math/rand/v2"}
+
+// NoGlobalRand bans math/rand inside internal/. Every stochastic
+// component must draw from an explicitly passed, seeded
+// internal/rng.Source so experiments replay bit-exactly from a single
+// seed. The import itself is flagged — even rand.New(rand.NewSource(s))
+// is off the table, because splitting the repo's randomness across two
+// generator families silently decorrelates substreams.
+type NoGlobalRand struct{}
+
+// Name implements Rule.
+func (*NoGlobalRand) Name() string { return "no-global-rand" }
+
+// Doc implements Rule.
+func (*NoGlobalRand) Doc() string {
+	return "math/rand is banned in internal/; use seeded internal/rng sources"
+}
+
+// Check implements Rule.
+func (*NoGlobalRand) Check(f *File, report func(ast.Node, string, ...any)) {
+	if !f.In("internal") {
+		return
+	}
+	for _, path := range randPkgs {
+		name, ok := f.ImportName(path)
+		if !ok {
+			continue
+		}
+		for _, imp := range f.AST.Imports {
+			if str(imp.Path.Value) == path {
+				report(imp, "import of %s: internal/ draws randomness from seeded internal/rng sources only", path)
+			}
+		}
+		// Also flag each use of a top-level function, so the finding
+		// a developer sees points at the draw, not just the import.
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == name && id.Obj == nil {
+				report(call, "call to %s.%s draws from math/rand; use a seeded *rng.Source", name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// str strips the quotes from an import path literal.
+func str(lit string) string {
+	if len(lit) >= 2 && lit[0] == '"' && lit[len(lit)-1] == '"' {
+		return lit[1 : len(lit)-1]
+	}
+	return lit
+}

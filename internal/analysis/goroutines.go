@@ -1,0 +1,37 @@
+package analysis
+
+import "go/ast"
+
+// runnerFile is the one non-test file allowed to start goroutines: the
+// worker pool that fans experiments out and merges results in a
+// deterministic order.
+const runnerFile = "internal/sim/runner.go"
+
+// ConfinedGoroutines bans `go` statements outside internal/sim/runner.go
+// and _test.go files. All concurrency flows through the worker pool,
+// whose merge step is what makes parallel output byte-identical to the
+// serial run; an ad-hoc goroutine anywhere else can reorder writes into
+// shared results and break that equivalence in ways the race detector
+// only catches probabilistically.
+type ConfinedGoroutines struct{}
+
+// Name implements Rule.
+func (*ConfinedGoroutines) Name() string { return "confined-goroutines" }
+
+// Doc implements Rule.
+func (*ConfinedGoroutines) Doc() string {
+	return "go statements are confined to internal/sim/runner.go and _test.go files"
+}
+
+// Check implements Rule.
+func (*ConfinedGoroutines) Check(f *File, report func(ast.Node, string, ...any)) {
+	if f.Path == runnerFile || f.IsTest() {
+		return
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			report(g, "go statement outside %s: route concurrency through the sim worker pool", runnerFile)
+		}
+		return true
+	})
+}

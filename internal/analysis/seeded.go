@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// rngImport is the module's deterministic generator package; a
+// parameter of type *rng.Source (or a config field of that type) counts
+// as a seed.
+const rngImport = "wlreviver/internal/rng"
+
+// seededDirs are the packages whose exported constructors must be
+// seedable: they build the stochastic components of the simulation.
+var seededDirs = []string{"internal/sim", "internal/trace", "internal/pcm", "internal/wear"}
+
+// SeededConstructors flags exported New* constructors in the simulation
+// packages that draw randomness (reference the rng package in their
+// body) without taking a seed: no parameter named like "seed", no
+// *rng.Source parameter, and no config-struct parameter carrying such a
+// field. An unseedable stochastic constructor can only fall back to a
+// fixed or global seed, which either hides correlation between
+// components or breaks replayability — both poison lifetime results.
+//
+// The check is shallow by design: it looks at the constructor's own
+// body, not its callees. A constructor that delegates all randomness to
+// an inner seeded call is fine; one that draws directly must expose the
+// seed.
+type SeededConstructors struct{}
+
+// Name implements Rule.
+func (*SeededConstructors) Name() string { return "seeded-constructors" }
+
+// Doc implements Rule.
+func (*SeededConstructors) Doc() string {
+	return "exported New* constructors in sim/trace/pcm/wear that use randomness must take a seed or *rng.Source"
+}
+
+// Check implements Rule.
+func (*SeededConstructors) Check(f *File, report func(ast.Node, string, ...any)) {
+	inScope := false
+	for _, dir := range seededDirs {
+		if f.In(dir) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope || f.IsTest() {
+		return
+	}
+	rngName, usesRNG := f.ImportName(rngImport)
+	if !usesRNG {
+		return
+	}
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv != nil || fd.Body == nil {
+			continue
+		}
+		if !fd.Name.IsExported() || !strings.HasPrefix(fd.Name.Name, "New") {
+			continue
+		}
+		if !referencesPkg(fd.Body, rngName) {
+			continue
+		}
+		if constructorSeeded(f, fd, rngName) {
+			continue
+		}
+		report(fd.Name, "exported constructor %s uses package rng but takes no seed or *rng.Source parameter", fd.Name.Name)
+	}
+}
+
+// referencesPkg reports whether the body contains a selector qualified
+// by the given package name (e.g. rng.New, rng.Hash64).
+func referencesPkg(body *ast.BlockStmt, pkgName string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkgName && id.Obj == nil {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// constructorSeeded reports whether any parameter provides a seed:
+// by name ("seed", "Seed", "rngSeed", ...), by type (*rng.Source), or —
+// one level deep — via a same-package config struct with such a field.
+func constructorSeeded(f *File, fd *ast.FuncDecl, rngName string) bool {
+	for _, p := range fd.Type.Params.List {
+		for _, name := range p.Names {
+			if strings.Contains(strings.ToLower(name.Name), "seed") {
+				return true
+			}
+		}
+		if typeIsRNGSource(p.Type, rngName) {
+			return true
+		}
+		if st := paramStruct(f.Pkg, p.Type); st != nil && structHasSeed(st, rngName) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeIsRNGSource reports whether t is rng.Source or *rng.Source.
+func typeIsRNGSource(t ast.Expr, rngName string) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Source" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == rngName
+}
+
+// paramStruct resolves a parameter type naming a struct declared in the
+// same package (Config, *Config, ...); nil otherwise.
+func paramStruct(pkg *Package, t ast.Expr) *ast.StructType {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pkg.LookupStruct(id.Name)
+}
+
+// structHasSeed reports whether the struct carries a seed-like field or
+// an rng.Source field.
+func structHasSeed(st *ast.StructType, rngName string) bool {
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			if strings.Contains(strings.ToLower(name.Name), "seed") {
+				return true
+			}
+		}
+		if typeIsRNGSource(fld.Type, rngName) {
+			return true
+		}
+	}
+	return false
+}

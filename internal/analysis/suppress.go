@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full syntax is
+//
+//	//lint:ignore <rule-name> <reason>
+//
+// matching staticcheck's convention so editors highlight it. The
+// directive silences <rule-name> findings on its own line and on the
+// line directly below it (covering both trailing and leading comment
+// placement). The reason is mandatory.
+const ignorePrefix = "lint:ignore"
+
+// suppressionSet holds a file's directives plus diagnostics for any
+// malformed ones.
+type suppressionSet struct {
+	byLine    map[int][]string // line -> rule names silenced from that line
+	malformed []Diagnostic
+}
+
+// covers reports whether a finding of rule at line is silenced.
+func (s suppressionSet) covers(rule string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, r := range s.byLine[l] {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// suppressions extracts every //lint:ignore directive from the file.
+// A directive with no rule name or no reason is reported under the
+// "ignore-syntax" pseudo-rule: an unjustified ignore must not be able
+// to silently disable the gate.
+func suppressions(fset *token.FileSet, f *File) suppressionSet {
+	set := suppressionSet{byLine: map[int][]string{}}
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // /* */ comments cannot carry directives
+			}
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				set.malformed = append(set.malformed, Diagnostic{
+					Pos:  pos,
+					Rule: "ignore-syntax",
+					Msg:  "malformed directive: want //lint:ignore <rule> <reason>, the reason is mandatory",
+				})
+				continue
+			}
+			set.byLine[pos.Line] = append(set.byLine[pos.Line], fields[0])
+		}
+	}
+	return set
+}

@@ -1,0 +1,13 @@
+// Fixture: cmd/ is exempt from no-wallclock — drivers time experiments
+// for human-facing banners. Nothing in this file is a finding.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

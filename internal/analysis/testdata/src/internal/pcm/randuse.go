@@ -1,0 +1,17 @@
+// Fixture: no-global-rand positives — the import itself and each
+// top-level draw — plus a suppressed draw.
+package pcm
+
+import "math/rand" // want no-global-rand "import of math/rand"
+
+// Noise draws from the process-global generator.
+func Noise() float64 {
+	return rand.Float64() // want no-global-rand "call to rand.Float64"
+}
+
+// Jitter draws twice; the second carries a justified suppression.
+func Jitter() int {
+	n := rand.Intn(8) // want no-global-rand "call to rand.Intn"
+	//lint:ignore no-global-rand fixture demonstrates a justified suppression
+	return n + rand.Intn(8)
+}

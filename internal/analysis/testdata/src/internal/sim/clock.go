@@ -1,0 +1,20 @@
+// Fixture: no-wallclock positives and a suppressed site inside
+// internal/, where wall-clock reads are banned.
+package sim
+
+import "time"
+
+// Tick draws wall-clock time three ways; two are findings, the third
+// carries a justified suppression.
+func Tick() time.Duration {
+	start := time.Now()          // want no-wallclock "wall-clock call time.Now"
+	time.Sleep(time.Millisecond) // want no-wallclock "wall-clock call time.Sleep"
+	//lint:ignore no-wallclock fixture demonstrates a justified suppression
+	end := time.Now()
+	return end.Sub(start)
+}
+
+// Elapsed uses time.Since, the second banned spelling.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want no-wallclock "wall-clock call time.Since"
+}

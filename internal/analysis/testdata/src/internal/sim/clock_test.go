@@ -1,0 +1,16 @@
+// Fixture: _test.go files are exempt from no-wallclock — benchmarks
+// measure real time by design. Nothing in this file is a finding.
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkTick(b *testing.B) {
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		_ = Tick()
+	}
+	_ = time.Since(start)
+}

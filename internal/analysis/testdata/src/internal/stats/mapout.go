@@ -1,0 +1,52 @@
+// Fixture: ordered-map-output positives (print and append sinks),
+// the sorted-keys exemption, and a suppressed commutative fold.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// counters carries a map-typed field so the selector heuristic has
+// something to resolve.
+type counters struct {
+	byName map[string]int
+}
+
+// PrintCounts ranges a map straight into a printer: iteration order
+// leaks into output bytes.
+func PrintCounts(w io.Writer, counts map[string]int) {
+	for k, v := range counts { // want ordered-map-output "range over map feeds fmt.Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Names appends map keys into a result slice with no sort in sight.
+func Names(c *counters) []string {
+	var names []string
+	for k := range c.byName { // want ordered-map-output "range over map feeds an append into a result slice"
+		names = append(names, k)
+	}
+	return names
+}
+
+// SortedNames is the canonical fix: collect, sort, iterate the slice.
+// The sort.Strings call exempts the collection loop.
+func SortedNames(c *counters) []string {
+	names := make([]string, 0, len(c.byName))
+	for k := range c.byName {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DebugDump prints a map for interactive debugging; the output never
+// reaches a figure or table, which the suppression reason records.
+func DebugDump(w io.Writer, counts map[string]int) {
+	//lint:ignore ordered-map-output debug-only dump, never feeds a figure or table
+	for k, v := range counts {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,11 @@
+// Fixture: confined-goroutines positive and suppressed sites — a go
+// statement outside internal/sim/runner.go.
+package stats
+
+// FanOut starts ad-hoc goroutines; the first is a finding, the second
+// carries a justified suppression.
+func FanOut(f func()) {
+	go f() // want confined-goroutines "go statement outside internal/sim/runner.go"
+	//lint:ignore confined-goroutines fixture demonstrates a justified suppression
+	go f()
+}

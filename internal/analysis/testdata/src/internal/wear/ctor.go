@@ -1,0 +1,44 @@
+// Fixture: seeded-constructors positives and the three accepted ways
+// to thread a seed, plus a suppressed case.
+package wear
+
+import "wlreviver/internal/rng"
+
+// Shuffler is a stochastic component under construction.
+type Shuffler struct {
+	src *rng.Source
+}
+
+// Config carries a seed, so constructors taking it are fine.
+type Config struct {
+	Size uint64
+	Seed uint64
+}
+
+// NewShuffler draws randomness with no way for the caller to seed it.
+func NewShuffler(size uint64) *Shuffler { // want seeded-constructors "constructor NewShuffler uses package rng"
+	return &Shuffler{src: rng.New(42)}
+}
+
+// NewSeededShuffler is seeded by parameter name.
+func NewSeededShuffler(size, seed uint64) *Shuffler {
+	return &Shuffler{src: rng.New(seed)}
+}
+
+// NewShufflerFrom is seeded by a *rng.Source parameter.
+func NewShufflerFrom(src *rng.Source) *Shuffler {
+	return &Shuffler{src: rng.New(src.Uint64())}
+}
+
+// NewShufflerConfig is seeded through the config struct's Seed field.
+func NewShufflerConfig(cfg Config) *Shuffler {
+	return &Shuffler{src: rng.New(cfg.Seed)}
+}
+
+// NewFixedShuffler deliberately pins its stream; the suppression
+// records why.
+//
+//lint:ignore seeded-constructors fixture: stream is pinned as a published reference vector
+func NewFixedShuffler() *Shuffler {
+	return &Shuffler{src: rng.New(7)}
+}

@@ -1,0 +1,10 @@
+// Fixture: no-global-rand only applies under internal/; this package
+// sits outside it, so the import and the draw are not findings.
+// (Nothing in the real repo does this either — the rule's scope is the
+// paper's own internal packages.)
+package pkg
+
+import "math/rand"
+
+// Sample is exempt by location.
+func Sample() int { return rand.Int() }

@@ -1,0 +1,55 @@
+package analysis
+
+import "go/ast"
+
+// wallclockFuncs are the package-time functions whose result (or
+// behaviour) depends on the wall clock. Any of them in simulation code
+// makes output depend on the machine and the moment, breaking the
+// byte-identical-across-runs guarantee.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallclock bans wall-clock reads (time.Now, time.Since, ...)
+// everywhere except cmd/ (where drivers time experiments for humans)
+// and _test.go files (benchmarks measure real time by design). The
+// simulator has its own notion of time — the write counter — and every
+// figure must be reproducible from a seed alone.
+type NoWallclock struct{}
+
+// Name implements Rule.
+func (*NoWallclock) Name() string { return "no-wallclock" }
+
+// Doc implements Rule.
+func (*NoWallclock) Doc() string {
+	return "time.Now/time.Since and friends are banned outside cmd/ and _test.go files"
+}
+
+// Check implements Rule.
+func (*NoWallclock) Check(f *File, report func(ast.Node, string, ...any)) {
+	if f.In("cmd") || f.IsTest() {
+		return
+	}
+	timeName, ok := f.ImportName("time")
+	if !ok {
+		return
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !wallclockFuncs[sel.Sel.Name] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName && id.Obj == nil {
+			report(sel, "wall-clock call time.%s: simulation code must be deterministic; time experiments in cmd/ or a benchmark instead", sel.Sel.Name)
+		}
+		return true
+	})
+}

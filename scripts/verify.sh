@@ -1,15 +1,29 @@
 #!/bin/sh
 # verify.sh — the repo's full verification gate (also: `make verify`).
 #
-# Runs the tier-1 checks from ROADMAP.md plus vet and the race detector
-# over the concurrent experiment runner. Keep this green before every
-# commit; the race pass is what keeps internal/sim's worker pool honest.
+# Runs the tier-1 checks from ROADMAP.md plus formatting, vet, the
+# determinism-invariant analyzers (cmd/wlvet) and the race detector over
+# every package. Keep this green before every commit: wlvet is what
+# keeps wall-clock reads and unseeded randomness out of the simulation,
+# and the full-tree race pass is what keeps concurrency honest wherever
+# internal/sim's worker-pool results flow.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: unformatted files:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
+
+echo "== go run ./cmd/wlvet ./..."
+go run ./cmd/wlvet ./...
 
 echo "== go build ./..."
 go build ./...
@@ -17,7 +31,7 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/sim/"
-go test -race ./internal/sim/
+echo "== go test -race ./..."
+go test -race ./...
 
 echo "verify: all checks passed"
