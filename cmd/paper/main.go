@@ -5,6 +5,7 @@
 //
 //	paper [-scale tiny|bench|paper] [-exp all|table1|fig5|fig6|fig7|fig8|table2] [-seed N]
 //	      [-workers N] [-cpuprofile f] [-memprofile f] [-benchjson f] [-csv dir]
+//	paper -benchdiff old.json new.json
 //
 // Output is the textual form of each table/figure; EXPERIMENTS.md records
 // a reference run against the paper's reported results. Experiments fan
@@ -44,7 +45,15 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	benchJSON := flag.String("benchjson", "", "write per-experiment wall-clock and writes/sec as JSON to this file")
+	benchDiff := flag.Bool("benchdiff", false, "compare two -benchjson files given as positional arguments and exit")
 	flag.Parse()
+
+	if *benchDiff {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-benchdiff needs exactly two arguments: old.json new.json")
+		}
+		return runBenchDiff(flag.Arg(0), flag.Arg(1))
+	}
 
 	var scale wlreviver.Scale
 	switch *scaleName {
@@ -194,6 +203,72 @@ func (r *benchReport) write(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// readBenchReport loads a -benchjson document.
+func readBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// runBenchDiff compares two -benchjson reports experiment by experiment,
+// printing wall-clock and throughput deltas. A speedup above 1 means the
+// new run is faster (lower seconds, higher writes/sec).
+func runBenchDiff(oldPath, newPath string) error {
+	oldR, err := readBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := readBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# benchdiff %s (scale=%s seed=%d workers=%d) vs %s (scale=%s seed=%d workers=%d)\n",
+		oldPath, oldR.Scale, oldR.Seed, oldR.Workers,
+		newPath, newR.Scale, newR.Seed, newR.Workers)
+	if oldR.Scale != newR.Scale || oldR.Seed != newR.Seed || oldR.Workers != newR.Workers {
+		fmt.Println("# warning: runs differ in scale, seed or workers; deltas are not like-for-like")
+	}
+	fmt.Printf("%-12s %10s %10s %8s %14s %14s %8s\n",
+		"experiment", "old s", "new s", "time", "old w/s", "new w/s", "w/s")
+	row := func(name string, oldS, newS, oldW, newW float64) {
+		timeRatio, wRatio := "n/a", "n/a"
+		if newS > 0 {
+			timeRatio = fmt.Sprintf("%.2fx", oldS/newS)
+		}
+		if oldW > 0 {
+			wRatio = fmt.Sprintf("%.2fx", newW/oldW)
+		}
+		fmt.Printf("%-12s %10.2f %10.2f %8s %14.0f %14.0f %8s\n",
+			name, oldS, newS, timeRatio, oldW, newW, wRatio)
+	}
+	newByName := make(map[string]benchExperiment, len(newR.Experiments))
+	for _, e := range newR.Experiments {
+		newByName[e.Name] = e
+	}
+	for _, oe := range oldR.Experiments {
+		ne, ok := newByName[oe.Name]
+		if !ok {
+			fmt.Printf("%-12s %10.2f %10s (missing from %s)\n", oe.Name, oe.Seconds, "-", newPath)
+			continue
+		}
+		delete(newByName, oe.Name)
+		row(oe.Name, oe.Seconds, ne.Seconds, oe.WritesPerSec, ne.WritesPerSec)
+	}
+	for _, ne := range newR.Experiments {
+		if _, stillNew := newByName[ne.Name]; stillNew {
+			fmt.Printf("%-12s %10s %10.2f (missing from %s)\n", ne.Name, "-", ne.Seconds, oldPath)
+		}
+	}
+	row("total", oldR.TotalSeconds, newR.TotalSeconds, oldR.WritesPerSec, newR.WritesPerSec)
+	return nil
 }
 
 // writeCounter is implemented by results that track their simulated

@@ -31,6 +31,13 @@ type Backend struct {
 // write pushed it beyond correction capacity (in the latter case the
 // written data is considered lost, as in the paper's failure model).
 func (b *Backend) WriteRaw(da uint64) bool {
+	// Failure-horizon fast path: while the device guarantees no cell can
+	// fail on this write and the block is alive, there is nothing for the
+	// failure hook or the ECC layer to observe — the entire dead/ECC
+	// bookkeeping collapses into one branch.
+	if b.FailureHook == nil && b.Dev.WriteNoFail(pcm.BlockID(da)) {
+		return true
+	}
 	if b.Dev.Dead(pcm.BlockID(da)) {
 		b.Dev.Write(pcm.BlockID(da)) // the attempt still wears the cells
 		return false

@@ -1,0 +1,122 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+
+	"wlreviver/internal/rng"
+)
+
+// forceChecked disables a device's fast path permanently: every write
+// takes the full checked path and the horizon is never re-armed.
+func forceChecked(d *Device) {
+	d.horizon = 0
+	d.rescanIn = math.MaxUint64
+}
+
+// TestHorizonMatchesCheckedPath drives two identical devices — one with
+// the failure-horizon fast path, one forced onto the checked path — with
+// the same write stream through many cell failures, and requires every
+// observable (per-write failure counts, wear, failed cells, thresholds,
+// access stats) to stay identical.
+func TestHorizonMatchesCheckedPath(t *testing.T) {
+	cfg := Config{
+		NumBlocks:     64,
+		BlockBytes:    64,
+		CellsPerBlock: 8,
+		MeanEndurance: 500,
+		LifetimeCoV:   0.3,
+		Seed:          7,
+	}
+	fast, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceChecked(slow)
+
+	src := rng.New(3)
+	failures := 0
+	for i := 0; i < 300000; i++ {
+		b := BlockID(src.Uint64n(cfg.NumBlocks))
+		nfF := fast.Write(b)
+		nfS := slow.Write(b)
+		if nfF != nfS {
+			t.Fatalf("write %d to block %d: fast reported %d failures, checked %d", i, b, nfF, nfS)
+		}
+		failures += nfF
+		// Exercise the dead-block interplay once failures start.
+		if nfF > 0 && !fast.Dead(b) && fast.FailedCells(b) >= 4 {
+			fast.MarkDead(b)
+			slow.MarkDead(b)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("stream produced no cell failures; horizon expiry path not exercised")
+	}
+	for b := uint64(0); b < cfg.NumBlocks; b++ {
+		id := BlockID(b)
+		if fast.Wear(id) != slow.Wear(id) {
+			t.Fatalf("block %d: wear %d vs %d", b, fast.Wear(id), slow.Wear(id))
+		}
+		if fast.FailedCells(id) != slow.FailedCells(id) {
+			t.Fatalf("block %d: failed cells %d vs %d", b, fast.FailedCells(id), slow.FailedCells(id))
+		}
+		if fast.PeekNextFailure(id) != slow.PeekNextFailure(id) {
+			t.Fatalf("block %d: next failure %d vs %d", b, fast.PeekNextFailure(id), slow.PeekNextFailure(id))
+		}
+		if fast.Dead(id) != slow.Dead(id) {
+			t.Fatalf("block %d: dead %v vs %v", b, fast.Dead(id), slow.Dead(id))
+		}
+	}
+	if fast.Stats() != slow.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", fast.Stats(), slow.Stats())
+	}
+}
+
+// TestWriteNoFailSemantics pins the contract of the backend's fast entry:
+// success must mean "a live block wrote with zero failures", and refusal
+// must leave the device untouched.
+func TestWriteNoFailSemantics(t *testing.T) {
+	cfg := Config{
+		NumBlocks:     16,
+		BlockBytes:    64,
+		CellsPerBlock: 4,
+		MeanEndurance: 300,
+		LifetimeCoV:   0.25,
+		Seed:          11,
+	}
+	fast, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceChecked(ref)
+	fast.MarkDead(3)
+	ref.MarkDead(3)
+	if fast.WriteNoFail(3) {
+		t.Fatal("WriteNoFail accepted a dead block")
+	}
+	if fast.Wear(3) != 0 || fast.Stats().Writes != 0 {
+		t.Fatal("refused WriteNoFail still mutated the device")
+	}
+	src := rng.New(8)
+	for i := 0; i < 100000; i++ {
+		b := BlockID(src.Uint64n(cfg.NumBlocks))
+		nf := ref.Write(b)
+		if fast.WriteNoFail(b) {
+			if nf != 0 || ref.Dead(b) {
+				t.Fatalf("write %d block %d: fast path taken where checked path saw %d failures (dead=%v)",
+					i, b, nf, ref.Dead(b))
+			}
+		} else if fast.Write(b) != nf {
+			t.Fatalf("write %d block %d: checked fallback diverged", i, b)
+		}
+	}
+}

@@ -114,6 +114,18 @@ type Device struct {
 	stats     AccessStats
 	deadCount uint64
 	sigma     float64
+
+	// Failure-horizon fast path: horizon counts device writes guaranteed
+	// not to trigger a cell failure anywhere. A cell fails on the write
+	// that brings its block's wear up to nextFail, and each write lowers
+	// exactly one block's margin by one, so after a scan finding minimum
+	// margin M the next M-1 writes are failure-free; while horizon > 0 the
+	// write path skips all failure bookkeeping. When the scan itself finds
+	// a margin of 1 (a failure is imminent), rescanIn amortizes the next
+	// O(NumBlocks) scan over NumBlocks checked writes so pathological
+	// streams cost O(1) extra per write, not O(NumBlocks).
+	horizon  uint64
+	rescanIn uint64
 }
 
 // NewDevice builds a chip from cfg.
@@ -136,6 +148,7 @@ func NewDevice(cfg Config) (*Device, error) {
 	for b := uint64(0); b < cfg.NumBlocks; b++ {
 		d.nextFail[b] = d.orderStatThreshold(BlockID(b), 0)
 	}
+	d.recomputeHorizon()
 	return d, nil
 }
 
@@ -183,6 +196,33 @@ func (d *Device) orderStatThreshold(b BlockID, k int) uint64 {
 // of cells that newly failed during this write (usually zero). The caller
 // (the ECC layer) decides whether the block is still correctable.
 func (d *Device) Write(b BlockID) int {
+	if d.horizon > 0 {
+		d.horizon--
+		d.stats.Writes++
+		d.wear[b]++
+		return 0
+	}
+	return d.writeChecked(b)
+}
+
+// WriteNoFail attempts the failure-horizon fast write for a live block:
+// when no cell anywhere can fail on this write and b is not dead, the
+// write is performed and true returned. Otherwise nothing happens and the
+// caller must take the full checked path (Write). This lets the backend
+// skip its dead/ECC bookkeeping in one branch.
+func (d *Device) WriteNoFail(b BlockID) bool {
+	if d.horizon == 0 || d.dead[b] {
+		return false
+	}
+	d.horizon--
+	d.stats.Writes++
+	d.wear[b]++
+	return true
+}
+
+// writeChecked is the full write path: advance wear, materialize any cell
+// failures, and re-arm the horizon when due.
+func (d *Device) writeChecked(b BlockID) int {
 	d.stats.Writes++
 	d.wear[b]++
 	newFailures := 0
@@ -191,7 +231,30 @@ func (d *Device) Write(b BlockID) int {
 		newFailures++
 		d.nextFail[b] = d.orderStatThreshold(b, int(d.failedCells[b]))
 	}
+	if d.rescanIn > 0 {
+		d.rescanIn--
+	} else {
+		d.recomputeHorizon()
+	}
 	return newFailures
+}
+
+// recomputeHorizon scans every block's failure margin and re-arms the
+// fast-path countdown. O(NumBlocks); runs at construction, on horizon
+// expiry, and at most once per NumBlocks checked writes.
+func (d *Device) recomputeHorizon() {
+	min := uint64(math.MaxUint64)
+	for b, w := range d.wear {
+		if m := d.nextFail[b] - w; m < min {
+			min = m
+		}
+	}
+	// The write reaching nextFail fails, so minimum margin M leaves M-1
+	// failure-free writes. writeChecked keeps nextFail > wear, so M >= 1.
+	d.horizon = min - 1
+	if d.horizon == 0 {
+		d.rescanIn = uint64(len(d.wear))
+	}
 }
 
 // Read services one read from block b. Reads do not wear PCM cells.

@@ -136,8 +136,10 @@ type Reviver struct {
 
 	// lastWritePA remembers the most recent software write target for
 	// the ImmediateAcquisition ablation (the page the OS interrupt
-	// reports against).
-	lastWritePA *uint64
+	// reports against). Stored as value+flag so recording it on every
+	// write stays allocation-free.
+	lastWritePA uint64
+	lastWriteOK bool
 
 	shadowPerPage uint64
 	st            Stats
@@ -201,23 +203,39 @@ func (r *Reviver) HasPending() bool { return len(r.pending) > 0 }
 
 // ---- spare-PA management -------------------------------------------------
 
-// takePA hands out an unlinked reserved PA whose current mapping target
-// is not excluded. Exclusion prevents two degenerate links: a PA mapping
-// straight back to the block being linked (a data-less loop while data
-// still needs storing), and a PA mapping into a block already on the
-// chain being walked (which would close a pointer cycle). The paper
-// expresses availability as a [current, last] register pair; the slice
-// generalises that to tolerate skips.
-func (r *Reviver) takePA(excluded func(pa uint64) bool) (uint64, bool) {
+// takePA hands out an unlinked reserved PA whose effective (post-update)
+// mapping target is neither cur nor already on the walked path. Exclusion
+// prevents two degenerate links: a PA mapping straight back to the block
+// being linked (a data-less loop while data still needs storing), and a
+// PA mapping into a block already on the chain being walked (which would
+// close a pointer cycle). The paper expresses availability as a
+// [current, last] register pair; the slice generalises that to tolerate
+// skips. The exclusion is passed as explicit walk state rather than a
+// closure so the per-write delivery path performs no allocations.
+func (r *Reviver) takePA(path []chainLink, cur uint64, rm remap) (uint64, bool) {
 	for i := len(r.avail) - 1; i >= 0; i-- {
 		p := r.avail[i]
-		if excluded(p) {
+		if onWalk(path, cur, rm.mapPA(r, p)) {
 			continue
 		}
 		r.avail = append(r.avail[:i], r.avail[i+1:]...)
 		return p, true
 	}
 	return 0, false
+}
+
+// onWalk reports whether da is the walk's current block or a block
+// already on the walked path.
+func onWalk(path []chainLink, cur, da uint64) bool {
+	if da == cur {
+		return true
+	}
+	for _, l := range path {
+		if l.da == da {
+			return true
+		}
+	}
+	return false
 }
 
 // link records da's virtual shadow: the PA pointer is written into the
@@ -375,31 +393,6 @@ func (m remap) mapPA(r *Reviver, p uint64) uint64 {
 func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite, hasData bool) (accesses uint64, needPA bool) {
 	path := head
 	cur := entry
-	// onWalk excludes the current block and everything already walked
-	// from becoming a fresh link target (see takePA).
-	onWalk := func(da uint64) bool {
-		if da == cur {
-			return true
-		}
-		for _, l := range path {
-			if l.da == da {
-				return true
-			}
-		}
-		return false
-	}
-	// freshLink links cur to a spare PA, extending the walk through it.
-	// Candidates are judged under the effective (post-update) mapping.
-	freshLink := func() bool {
-		p, ok := r.takePA(func(pa uint64) bool { return onWalk(rm.mapPA(r, pa)) })
-		if !ok {
-			return false
-		}
-		r.link(cur, p)
-		path = append(path, chainLink{da: cur, via: p})
-		cur = rm.mapPA(r, p)
-		return true
-	}
 	limit := int(r.lv.NumDAs()) + 8
 	for steps := 0; ; steps++ {
 		if steps > limit {
@@ -410,7 +403,8 @@ func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite
 				accesses++
 				if !r.be.WriteRaw(cur) {
 					// The block died under this very write (Fig. 2c).
-					if !freshLink() {
+					var ok bool
+					if path, cur, ok = r.freshLink(path, cur, rm); !ok {
 						r.orphans[cur] = struct{}{}
 						r.reduce(path) // shorten what was walked so far
 						return accesses, true
@@ -425,7 +419,7 @@ func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite
 		}
 		// Dead block: follow (or create) its virtual shadow link.
 		p, linked := r.ptr[cur]
-		if linked && onWalk(rm.mapPA(r, p)) {
+		if linked && onWalk(path, cur, rm.mapPA(r, p)) {
 			// Following the existing link would close a cycle: either the
 			// block sits on a PA-DA loop that data now needs to flow
 			// through, or the link points back into the walked chain.
@@ -437,7 +431,8 @@ func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite
 			linked = false
 		}
 		if !linked {
-			if !freshLink() {
+			var ok bool
+			if path, cur, ok = r.freshLink(path, cur, rm); !ok {
 				r.orphans[cur] = struct{}{}
 				r.reduce(path) // shorten what was walked so far
 				return accesses, true
@@ -455,6 +450,20 @@ func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite
 	}
 	r.reduce(path)
 	return accesses, false
+}
+
+// freshLink links cur to a spare PA (judged under the effective
+// post-update mapping), extending the walk through it. It returns the
+// grown path and the new cursor; ok is false when the spare pool is
+// starved, leaving path and cur unchanged.
+func (r *Reviver) freshLink(path []chainLink, cur uint64, rm remap) ([]chainLink, uint64, bool) {
+	p, ok := r.takePA(path, cur, rm)
+	if !ok {
+		return path, cur, false
+	}
+	r.link(cur, p)
+	path = append(path, chainLink{da: cur, via: p})
+	return path, rm.mapPA(r, p), true
 }
 
 // reduce collapses a walked multi-step chain to one step: the chain's
@@ -556,8 +565,8 @@ func (r *Reviver) Write(pa, tag uint64) mc.WriteResult {
 			return mc.WriteResult{Relocations: relocs, Retry: true}
 		}
 	}
-	paCopy := pa
-	r.lastWritePA = &paCopy
+	r.lastWritePA = pa
+	r.lastWriteOK = true
 	da := r.lv.Map(pa)
 	accesses, needPA := r.deliver(da, tag, nil, remap{}, true, true)
 	r.st.RequestAccesses += accesses
@@ -611,9 +620,9 @@ func (r *Reviver) resume() uint64 {
 // ImmediateAcquisition ablation it instead interrupts the OS right away
 // and completes the delivery.
 func (r *Reviver) suspend(entry, tag uint64, has bool, headPA uint64, hasHead bool) {
-	if r.cfg.ImmediateAcquisition && r.lastWritePA != nil && !r.os.Retired(*r.lastWritePA) {
-		r.acquirePage(*r.lastWritePA)
-		r.lastWritePA = nil
+	if r.cfg.ImmediateAcquisition && r.lastWriteOK && !r.os.Retired(r.lastWritePA) {
+		r.acquirePage(r.lastWritePA)
+		r.lastWriteOK = false
 		accesses, needPA := r.deliver(entry, tag, r.chainHead(headPA, hasHead, entry), remap{}, true, has)
 		r.st.MaintenanceAccesses += accesses
 		if !needPA {

@@ -207,9 +207,33 @@ type Engine struct {
 	llsStack bool             // crippling is terminal (Figure 8 semantics)
 	maxRetry int
 
+	// Devirtualized views of prot and lv, resolved once at construction.
+	// rev is non-nil when the protector is WL-Reviver: Write and
+	// ResumePending become direct calls. Every other protector's
+	// ResumePending is a constant 0 (nothing to resume), so the call is
+	// elided entirely. The leveler's NoteWrite dispatches through one
+	// concrete field; noteSkip marks the Static leveler's no-op.
+	rev      *reviver.Reviver
+	sgLv     *wear.StartGap
+	srLv     *wear.SecurityRefresh
+	rsgLv    *wear.RegionedStartGap
+	noteSkip bool
+
+	// Batched address generation: when gen has a NextBatch fast path,
+	// addresses are pulled through addrBuf in chunks, replacing one
+	// interface call per write with one per addrBatch writes. Step and
+	// Run share the buffer, so mixing them preserves the address stream.
+	batchGen trace.BatchGenerator
+	addrBuf  []uint64
+	addrPos  int
+
 	writes  uint64
 	stopped bool
 }
+
+// addrBatch is the address-prefetch chunk size: large enough to amortize
+// the generator dispatch, small enough to stay in L1.
+const addrBatch = 512
 
 // NewEngine builds the system and attaches the workload generator, whose
 // block space must match cfg.Blocks.
@@ -387,7 +411,38 @@ func NewEngine(cfg Config, gen trace.Generator) (*Engine, error) {
 	e.space, _ = prot.(mc.SpaceReporter)
 	e.llsStack = cfg.Protector == ProtectorLLS
 	e.maxRetry = int(osm.NumPages()) + 2
+	e.rev, _ = prot.(*reviver.Reviver)
+	switch l := lv.(type) {
+	case *wear.StartGap:
+		e.sgLv = l
+	case *wear.SecurityRefresh:
+		e.srLv = l
+	case *wear.RegionedStartGap:
+		e.rsgLv = l
+	case wear.Static:
+		e.noteSkip = true
+	}
+	if bg, ok := gen.(trace.BatchGenerator); ok {
+		e.batchGen = bg
+		e.addrBuf = make([]uint64, 0, addrBatch)
+	}
 	return e, nil
+}
+
+// nextAddr returns the next workload address, refilling the prefetch
+// buffer from the generator's batch fast path when one exists.
+func (e *Engine) nextAddr() uint64 {
+	if e.batchGen == nil {
+		return e.gen.Next()
+	}
+	if e.addrPos == len(e.addrBuf) {
+		e.addrBuf = e.addrBuf[:addrBatch]
+		e.batchGen.NextBatch(e.addrBuf)
+		e.addrPos = 0
+	}
+	a := e.addrBuf[e.addrPos]
+	e.addrPos++
+	return a
 }
 
 // Step services one software write from the workload. It returns false
@@ -397,40 +452,32 @@ func (e *Engine) Step() bool {
 	if e.stopped {
 		return false
 	}
-	return e.writeTagged(e.gen.Next(), e.writes)
+	return e.writeTagged(e.nextAddr(), e.writes)
 }
 
 // Run services up to n writes, invoking onWrite (if non-nil) after each.
 // It returns the number of writes actually serviced.
+//
+// This is the single run loop — RunN delegates here — so the
+// stopped-recheck semantics live in exactly one place: stopped is
+// rechecked every iteration, not just at entry, because writeTagged can
+// set it while still reporting the write as serviced (the LLS crippling
+// write is terminal), and the batch must halt there exactly as a
+// Step-driven loop would.
 func (e *Engine) Run(n uint64, onWrite func(done uint64)) uint64 {
-	if onWrite == nil {
-		return e.RunN(n)
-	}
 	var done uint64
-	for done < n {
-		if !e.Step() {
-			break
-		}
+	for done < n && !e.stopped && e.writeTagged(e.nextAddr(), e.writes) {
 		done++
-		onWrite(done)
+		if onWrite != nil {
+			onWrite(done)
+		}
 	}
 	return done
 }
 
 // RunN services up to n writes with no per-write callback — the tight
 // loop experiment runners sit in. It returns the writes serviced.
-//
-// stopped is rechecked every iteration, not just at entry: writeTagged
-// can set it while still reporting the write as serviced (the LLS
-// crippling write is terminal), and the batch must halt there exactly
-// as a Step-driven loop would.
-func (e *Engine) RunN(n uint64) uint64 {
-	var done uint64
-	for done < n && !e.stopped && e.writeTagged(e.gen.Next(), e.writes) {
-		done++
-	}
-	return done
-}
+func (e *Engine) RunN(n uint64) uint64 { return e.Run(n, nil) }
 
 // Writes returns the number of software writes serviced.
 func (e *Engine) Writes() uint64 { return e.writes }
@@ -539,7 +586,9 @@ func (e *Engine) WriteTagged(vblock, tag uint64) bool {
 }
 
 // writeTagged is the write path with the stopped check hoisted into the
-// callers' loops.
+// callers' loops. Protector and leveler calls go through the concrete
+// views resolved at construction, so the steady state carries no dynamic
+// dispatch.
 func (e *Engine) writeTagged(vblock, tag uint64) bool {
 	var pa uint64
 	for attempt := 0; ; attempt++ {
@@ -553,15 +602,35 @@ func (e *Engine) writeTagged(vblock, tag uint64) bool {
 			e.stopped = true
 			return false
 		}
-		res := e.prot.Write(pa, tag)
-		if !res.Retry {
+		var retry bool
+		if e.rev != nil {
+			retry = e.rev.Write(pa, tag).Retry
+		} else {
+			retry = e.prot.Write(pa, tag).Retry
+		}
+		if !retry {
 			break
 		}
 	}
 	e.writes++
-	e.prot.ResumePending()
+	if e.rev != nil {
+		// Only WL-Reviver can suspend work; the other protectors'
+		// ResumePending is a constant 0 and is skipped entirely.
+		e.rev.ResumePending()
+	}
 	if e.crip == nil || !e.crip.Crippled() {
-		e.lv.NoteWrite(pa, e.prot)
+		switch {
+		case e.sgLv != nil:
+			e.sgLv.NoteWrite(pa, e.prot)
+		case e.srLv != nil:
+			e.srLv.NoteWrite(pa, e.prot)
+		case e.rsgLv != nil:
+			e.rsgLv.NoteWrite(pa, e.prot)
+		case e.noteSkip:
+			// Static leveler: NoteWrite is a no-op.
+		default:
+			e.lv.NoteWrite(pa, e.prot)
+		}
 	} else if e.llsStack {
 		e.stopped = true
 	}

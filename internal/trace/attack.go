@@ -50,6 +50,17 @@ func (h *Hammer) Next() uint64 {
 	return a
 }
 
+// NextBatch implements BatchGenerator.
+func (h *Hammer) NextBatch(dst []uint64) {
+	for i := range dst {
+		dst[i] = h.addrs[h.pos]
+		h.pos++
+		if h.pos == len(h.addrs) {
+			h.pos = 0
+		}
+	}
+}
+
 // BirthdayParadox implements Seznec's birthday-paradox attack on
 // randomized wear leveling: the attacker repeatedly hammers a freshly
 // chosen random set of addresses for a burst, betting that within a burst
@@ -112,10 +123,17 @@ func (b *BirthdayParadox) Next() uint64 {
 	return a
 }
 
+// NextBatch implements BatchGenerator.
+func (b *BirthdayParadox) NextBatch(dst []uint64) {
+	for i := range dst {
+		dst[i] = b.Next()
+	}
+}
+
 // verify interface compliance.
 var (
-	_ Generator = (*Weighted)(nil)
-	_ Generator = (*Uniform)(nil)
-	_ Generator = (*Hammer)(nil)
-	_ Generator = (*BirthdayParadox)(nil)
+	_ BatchGenerator = (*Weighted)(nil)
+	_ BatchGenerator = (*Uniform)(nil)
+	_ BatchGenerator = (*Hammer)(nil)
+	_ BatchGenerator = (*BirthdayParadox)(nil)
 )

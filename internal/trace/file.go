@@ -118,4 +118,16 @@ func (r *Replay) Next() uint64 {
 	return a
 }
 
-var _ Generator = (*Replay)(nil)
+// NextBatch implements BatchGenerator: bulk copies with wraparound.
+func (r *Replay) NextBatch(dst []uint64) {
+	for len(dst) > 0 {
+		n := copy(dst, r.records[r.pos:])
+		r.pos += n
+		if r.pos == len(r.records) {
+			r.pos = 0
+		}
+		dst = dst[n:]
+	}
+}
+
+var _ BatchGenerator = (*Replay)(nil)

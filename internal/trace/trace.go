@@ -20,6 +20,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"wlreviver/internal/rng"
 )
@@ -34,6 +35,16 @@ type Generator interface {
 	NumBlocks() uint64
 	// Next returns the next block address to write.
 	Next() uint64
+}
+
+// BatchGenerator is a Generator with a bulk fast path. NextBatch(dst) must
+// produce exactly the addresses len(dst) successive Next calls would —
+// the same stream, amortizing the per-call interface dispatch — which the
+// equivalence tests pin for every generator in this package.
+type BatchGenerator interface {
+	Generator
+	// NextBatch fills dst with the next len(dst) block addresses.
+	NextBatch(dst []uint64)
 }
 
 // Alias is Walker/Vose alias-method sampler over n weighted outcomes.
@@ -102,13 +113,32 @@ func NewAlias(weights []float64, src *rng.Source) (*Alias, error) {
 	return a, nil
 }
 
-// Sample draws one outcome index.
+// Sample draws one outcome index from a single 64-bit draw: the high bits
+// of u·n select the column (Lemire multiply-shift, rejection elided — the
+// bias is O(n/2^64)) and the low bits, reused as a fixed-point fraction,
+// decide column vs alias. Half the RNG work of the classic two-draw
+// formulation; the sampled stream differs from it, which Table I's CoV
+// harness revalidates.
 func (a *Alias) Sample() uint64 {
-	i := a.src.Uint64n(uint64(len(a.prob)))
-	if a.src.Float64() < a.prob[i] {
-		return i
+	hi, lo := bits.Mul64(a.src.Uint64(), uint64(len(a.prob)))
+	if float64(lo>>11)*(1.0/(1<<53)) < a.prob[hi] {
+		return hi
 	}
-	return uint64(a.alias[i])
+	return uint64(a.alias[hi])
+}
+
+// SampleBatch fills dst with len(dst) successive Sample draws.
+func (a *Alias) SampleBatch(dst []uint64) {
+	n := uint64(len(a.prob))
+	prob, alias, src := a.prob, a.alias, a.src
+	for i := range dst {
+		hi, lo := bits.Mul64(src.Uint64(), n)
+		if float64(lo>>11)*(1.0/(1<<53)) < prob[hi] {
+			dst[i] = hi
+		} else {
+			dst[i] = uint64(alias[hi])
+		}
+	}
 }
 
 // WeightedConfig configures a CoV-calibrated stationary workload.
@@ -199,6 +229,19 @@ func (w *Weighted) Next() uint64 {
 	return w.alias.Sample()
 }
 
+// NextBatch implements BatchGenerator. Without background traffic the
+// whole batch is one alias-sampling loop; with a mix the per-write checks
+// are preserved draw for draw.
+func (w *Weighted) NextBatch(dst []uint64) {
+	if w.cfg.UniformMix == 0 {
+		w.alias.SampleBatch(dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = w.Next()
+	}
+}
+
 // calibrateWeights returns exp(alpha*logW), alpha >= 0 chosen by
 // bisection so the sample CoV of the returned weights matches targetCoV
 // as closely as the field allows. alpha = 0 yields uniform weights. The
@@ -212,6 +255,31 @@ func calibrateWeights(logW []float64, targetCoV float64) []float64 {
 			maxLog = l
 		}
 	}
+	n := float64(len(logW))
+	// The bisection probes ~110 alphas; each probe reuses one scratch
+	// buffer, fusing exponentiation with the mean accumulation. Element
+	// order and operation order match the original expAt+covOf
+	// formulation exactly, so the probed CoVs — and therefore the chosen
+	// alpha and final weights — are bit-identical (pinned by test).
+	scratch := make([]float64, len(logW))
+	covAt := func(alpha float64) float64 {
+		var mean float64
+		for i, l := range logW {
+			x := math.Exp(alpha * (l - maxLog))
+			scratch[i] = x
+			mean += x
+		}
+		mean /= n
+		var m2 float64
+		for _, x := range scratch {
+			d := x - mean
+			m2 += d * d
+		}
+		if mean == 0 {
+			return 0
+		}
+		return math.Sqrt(m2/n) / mean
+	}
 	expAt := func(alpha float64) []float64 {
 		w := make([]float64, len(logW))
 		for i, l := range logW {
@@ -219,35 +287,19 @@ func calibrateWeights(logW []float64, targetCoV float64) []float64 {
 		}
 		return w
 	}
-	covOf := func(w []float64) float64 {
-		var mean float64
-		for _, x := range w {
-			mean += x
-		}
-		mean /= float64(len(w))
-		var m2 float64
-		for _, x := range w {
-			d := x - mean
-			m2 += d * d
-		}
-		if mean == 0 {
-			return 0
-		}
-		return math.Sqrt(m2/float64(len(w))) / mean
-	}
 	if targetCoV == 0 {
 		return expAt(0)
 	}
 	// Expand the upper bracket until the CoV crosses the target or the
 	// field saturates (a finite sample's CoV is capped near sqrt(n-1)).
 	lo, hi := 0.0, 1.0
-	for i := 0; i < 60 && covOf(expAt(hi)) < targetCoV; i++ {
+	for i := 0; i < 60 && covAt(hi) < targetCoV; i++ {
 		lo = hi
 		hi *= 2
 	}
 	for i := 0; i < 50; i++ {
 		mid := (lo + hi) / 2
-		if covOf(expAt(mid)) < targetCoV {
+		if covAt(mid) < targetCoV {
 			lo = mid
 		} else {
 			hi = mid
@@ -279,12 +331,34 @@ func (u *Uniform) NumBlocks() uint64 { return u.n }
 // Next implements Generator.
 func (u *Uniform) Next() uint64 { return u.src.Uint64n(u.n) }
 
+// NextBatch implements BatchGenerator.
+func (u *Uniform) NextBatch(dst []uint64) {
+	for i := range dst {
+		dst[i] = u.src.Uint64n(u.n)
+	}
+}
+
 // MeasureCoV replays draws writes from g and returns the CoV of the
 // resulting per-block write counts — the procedure behind Table I.
 func MeasureCoV(g Generator, draws uint64) float64 {
 	counts := make([]uint64, g.NumBlocks())
-	for i := uint64(0); i < draws; i++ {
-		counts[g.Next()]++
+	if bg, ok := g.(BatchGenerator); ok {
+		var buf [512]uint64
+		for left := draws; left > 0; {
+			chunk := uint64(len(buf))
+			if left < chunk {
+				chunk = left
+			}
+			bg.NextBatch(buf[:chunk])
+			for _, a := range buf[:chunk] {
+				counts[a]++
+			}
+			left -= chunk
+		}
+	} else {
+		for i := uint64(0); i < draws; i++ {
+			counts[g.Next()]++
+		}
 	}
 	var mean, m2 float64
 	n := float64(len(counts))

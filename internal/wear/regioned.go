@@ -68,6 +68,9 @@ func NewRegionedStartGap(cfg RegionedStartGapConfig) (*RegionedStartGap, error) 
 	if r.N() != cfg.NumPAs {
 		return nil, fmt.Errorf("wear: randomizer domain %d != NumPAs %d", r.N(), cfg.NumPAs)
 	}
+	// Flatten the chip-wide static scrambler into a lookup table (the
+	// per-region Start-Gaps below use Identity, which stays as-is).
+	r = Precompute(r)
 	s := &RegionedStartGap{
 		regions:    make([]*StartGap, cfg.Regions),
 		rand:       r,

@@ -24,11 +24,25 @@ type srRegion struct {
 	src   *rng.Source
 	swaps uint64
 	round uint64
+
+	// tbl memoizes mapSlow for every region address, updated incrementally
+	// as the refresh pointer walks: a re-key changes no mapping (the new
+	// key only takes effect as addresses are swapped), and each swap
+	// re-keys exactly the pair (ra, partner) just processed. nil when the
+	// region is too large to memoize.
+	tbl []uint32
 }
 
 func newSRRegion(size uint64, src *rng.Source) *srRegion {
 	k0 := src.Uint64n(size)
-	return &srRegion{size: size, kPrev: k0, kCur: k0, rp: size, src: src}
+	r := &srRegion{size: size, kPrev: k0, kCur: k0, rp: size, src: src}
+	if size <= maxTableDomain {
+		r.tbl = make([]uint32, size)
+		for ra := uint64(0); ra < size; ra++ {
+			r.tbl[ra] = uint32(ra ^ k0)
+		}
+	}
+	return r
 }
 
 // remapped reports whether ra has been re-keyed in the current round.
@@ -37,6 +51,15 @@ func (r *srRegion) remapped(ra uint64) bool {
 }
 
 func (r *srRegion) mapAddr(ra uint64) uint64 {
+	if r.tbl != nil {
+		return uint64(r.tbl[ra])
+	}
+	return r.mapSlow(ra)
+}
+
+// mapSlow computes the mapping from the refresh registers; the reference
+// the incremental table is pinned against.
+func (r *srRegion) mapSlow(ra uint64) uint64 {
 	if r.remapped(ra) {
 		return ra ^ r.kCur
 	}
@@ -78,6 +101,13 @@ func (r *srRegion) step(swap func(a, b uint64)) {
 	swap(ra^r.kPrev, ra^r.kCur)
 	r.rp++
 	r.swaps++
+	if r.tbl != nil {
+		// Advancing rp past ra re-keys exactly ra and its partner (every
+		// other address's remapped status is unchanged: it either was
+		// already below the old pointer or involves a different pair).
+		r.tbl[ra] = uint32(ra ^ r.kCur)
+		r.tbl[partner] = uint32(partner ^ r.kCur)
+	}
 }
 
 // SecurityRefreshConfig configures the scheme.

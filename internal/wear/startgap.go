@@ -67,6 +67,10 @@ func NewStartGap(cfg StartGapConfig) (*StartGap, error) {
 	if r.N() != cfg.NumPAs {
 		return nil, fmt.Errorf("wear: randomizer domain %d != NumPAs %d", r.N(), cfg.NumPAs)
 	}
+	// The randomizer is static for the lifetime of the scheme, so its
+	// permutation is flattened into a lookup table once here; the per-write
+	// Map becomes one array load instead of multi-round Feistel hashing.
+	r = Precompute(r)
 	return &StartGap{
 		n:      cfg.NumPAs,
 		gap:    cfg.NumPAs, // gap starts at the top (block N)

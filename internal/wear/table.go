@@ -1,0 +1,59 @@
+package wear
+
+// maxTableDomain caps the size of precomputed permutation tables. Two
+// uint32 tables at 2^24 entries cost 128 MiB — acceptable for paper-scale
+// geometries — but beyond that the memoization is declined and the
+// underlying randomizer is used directly.
+const maxTableDomain = 1 << 24
+
+// Table is a Randomizer whose permutation has been flattened into forward
+// and inverse lookup arrays, turning the per-write Map from multi-round
+// Feistel hashing (with cycle walking) into a single array load. Build one
+// with Precompute.
+type Table struct {
+	fwd []uint32
+	inv []uint32
+}
+
+// Precompute memoizes a static randomizer into a Table by evaluating its
+// permutation once over the whole domain. It returns the input unchanged
+// when memoization would not help (Identity, an existing Table) or would
+// cost too much memory (domain above maxTableDomain, or not addressable
+// with uint32 entries).
+//
+// The input must be static: its Map must not depend on mutable state.
+// Every Randomizer in this package and its users satisfies that by
+// contract ("a static invertible address scrambler") — the dynamic layers
+// (start/gap registers, refresh keys) live above the Randomizer.
+func Precompute(r Randomizer) Randomizer {
+	if r == nil {
+		return nil
+	}
+	switch r.(type) {
+	case Identity, *Table:
+		return r
+	}
+	n := r.N()
+	if n == 0 || n > maxTableDomain {
+		return r
+	}
+	t := &Table{fwd: make([]uint32, n), inv: make([]uint32, n)}
+	for x := uint64(0); x < n; x++ {
+		y := r.Map(x)
+		t.fwd[x] = uint32(y)
+		t.inv[y] = uint32(x)
+	}
+	return t
+}
+
+// Map returns the memoized image of x. Out-of-domain inputs panic via the
+// bounds check, matching the underlying randomizer's contract.
+func (t *Table) Map(x uint64) uint64 { return uint64(t.fwd[x]) }
+
+// Inverse returns the memoized preimage of y.
+func (t *Table) Inverse(y uint64) uint64 { return uint64(t.inv[y]) }
+
+// N returns the domain size.
+func (t *Table) N() uint64 { return uint64(len(t.fwd)) }
+
+var _ Randomizer = (*Table)(nil)

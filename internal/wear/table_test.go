@@ -1,0 +1,187 @@
+package wear
+
+import (
+	"testing"
+
+	"wlreviver/internal/rng"
+)
+
+// TestTableMatchesFeistel pins the memoized permutation to the Feistel it
+// was built from, forward and inverse, over the whole domain (including a
+// non-power-of-two size that exercises cycle walking).
+func TestTableMatchesFeistel(t *testing.T) {
+	for _, n := range []uint64{1, 2, 97, 1 << 10, 1000} {
+		f, err := NewFeistel(n, 4, 42+n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := Precompute(f)
+		if _, ok := tab.(*Table); !ok {
+			t.Fatalf("n=%d: Precompute did not memoize a Feistel", n)
+		}
+		if tab.N() != n {
+			t.Fatalf("n=%d: table domain %d", n, tab.N())
+		}
+		for x := uint64(0); x < n; x++ {
+			if got, want := tab.Map(x), f.Map(x); got != want {
+				t.Fatalf("n=%d: Map(%d) = %d, want %d", n, x, got, want)
+			}
+			if got, want := tab.Inverse(x), f.Inverse(x); got != want {
+				t.Fatalf("n=%d: Inverse(%d) = %d, want %d", n, x, got, want)
+			}
+		}
+	}
+}
+
+// TestPrecomputePassthrough checks the cases Precompute declines.
+func TestPrecomputePassthrough(t *testing.T) {
+	if Precompute(nil) != nil {
+		t.Error("nil should pass through")
+	}
+	id := Identity{Size: 8}
+	if Precompute(id) != Randomizer(id) {
+		t.Error("Identity should pass through")
+	}
+	f, _ := NewFeistel(64, 4, 1)
+	tab := Precompute(f)
+	if Precompute(tab) != tab {
+		t.Error("an existing Table should pass through")
+	}
+}
+
+// TestStartGapTableAcrossGapMoves drives a (table-backed) StartGap through
+// several full rotations and checks every mapping against the Start-Gap
+// algebra computed directly from the raw Feistel and the scheme's
+// start/gap registers — the table must stay exact as the dynamic layer
+// moves on top of it.
+func TestStartGapTableAcrossGapMoves(t *testing.T) {
+	const n = 257 // odd: exercises cycle walking in the reference Feistel
+	raw, err := NewFeistel(n, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := NewStartGap(StartGapConfig{NumPAs: n, GapWritePeriod: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sg.rand.(*Table); !ok {
+		t.Fatal("NewStartGap did not precompute its randomizer")
+	}
+	m := newShadowMem(sg.NumDAs())
+	for move := 0; move < 3*(n+1); move++ {
+		start, gap := sg.Start(), sg.GapDA()
+		for pa := uint64(0); pa < n; pa++ {
+			a := raw.Map(pa) + start
+			if a >= n {
+				a -= n
+			}
+			want := a
+			if a >= gap {
+				want = a + 1
+			}
+			if got := sg.Map(pa); got != want {
+				t.Fatalf("move %d: Map(%d) = %d, want %d (start=%d gap=%d)",
+					move, pa, got, want, start, gap)
+			}
+		}
+		sg.ForceGapMove(m.mover())
+	}
+}
+
+// TestSRRegionTableMatchesSlowMap steps a refresh region through several
+// complete re-key rounds, checking the incrementally maintained table
+// against the register-derived mapping for every address after every step.
+func TestSRRegionTableMatchesSlowMap(t *testing.T) {
+	const size = 64
+	r := newSRRegion(size, rng.New(11))
+	if r.tbl == nil {
+		t.Fatal("region did not build its table")
+	}
+	noop := func(a, b uint64) {}
+	check := func(step int) {
+		for ra := uint64(0); ra < size; ra++ {
+			if got, want := r.mapAddr(ra), r.mapSlow(ra); got != want {
+				t.Fatalf("step %d (round %d, rp %d): mapAddr(%d) = %d, want %d",
+					step, r.round, r.rp, ra, got, want)
+			}
+			if back := r.inverse(r.mapAddr(ra)); back != ra {
+				t.Fatalf("step %d: inverse(map(%d)) = %d", step, ra, back)
+			}
+		}
+	}
+	check(0)
+	for i := 1; i <= 6*size; i++ { // several rounds, including re-keys
+		r.step(noop)
+		check(i)
+	}
+	if r.round < 5 {
+		t.Fatalf("only %d rounds completed; re-key path not exercised", r.round)
+	}
+}
+
+// TestSecurityRefreshTableUnderWrites runs the full two-level scheme under
+// a write stream with real swaps mirrored in shadow memory, re-checking
+// data consistency (which routes through the memoized mapAddr) and that
+// every region's table still matches its registers at the end.
+func TestSecurityRefreshTableUnderWrites(t *testing.T) {
+	s, err := NewSecurityRefresh(SecurityRefreshConfig{
+		NumPAs:           256,
+		InnerRegions:     4,
+		OuterWritePeriod: 3,
+		InnerWritePeriod: 5,
+		Seed:             99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newShadowMem(s.NumDAs())
+	fillThrough(s, m)
+	src := rng.New(5)
+	for i := 0; i < 5000; i++ {
+		s.NoteWrite(src.Uint64n(s.NumPAs()), m.mover())
+	}
+	verifyThrough(t, s, m, "after writes")
+	regions := append([]*srRegion{s.outer}, s.inner...)
+	for ri, r := range regions {
+		for ra := uint64(0); ra < r.size; ra++ {
+			if got, want := r.mapAddr(ra), r.mapSlow(ra); got != want {
+				t.Fatalf("region %d: mapAddr(%d) = %d, want %d", ri, ra, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkStartGapMapCached measures the memoized per-write Map — the
+// hot path the table optimization targets.
+func BenchmarkStartGapMapCached(b *testing.B) {
+	const n = 1 << 16
+	sg, err := NewStartGap(StartGapConfig{NumPAs: n, GapWritePeriod: 100, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += sg.Map(uint64(i) & (n - 1))
+	}
+	benchSink = sink
+}
+
+// BenchmarkStartGapMapFeistel is the pre-memoization baseline: the same
+// mapping computed through the raw Feistel each call.
+func BenchmarkStartGapMapFeistel(b *testing.B) {
+	const n = 1 << 16
+	f, err := NewFeistel(n, 4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sg := &StartGap{n: n, gap: n, rand: f, period: 100}
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += sg.Map(uint64(i) & (n - 1))
+	}
+	benchSink = sink
+}
+
+var benchSink uint64
