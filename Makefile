@@ -16,10 +16,13 @@ verify:
 
 # Perf-trajectory snapshot: run the full experiment suite at the reduced
 # tiny scale and record per-experiment wall-clock and writes/sec as
-# BENCH_<timestamp>.json. EXPERIMENTS.md documents the JSON schema;
-# compare snapshots across commits to track the hot path.
+# BENCH_<timestamp>.json plus every engine's event counters and snapshot
+# series as METRICS_<timestamp>.json. EXPERIMENTS.md documents both JSON
+# schemas; compare BENCH snapshots across commits to track the hot path.
 bench:
-	go run ./cmd/paper -scale tiny -exp all -benchjson BENCH_$(shell date +%Y%m%d-%H%M%S).json
+	stamp=$$(date +%Y%m%d-%H%M%S) && \
+	go run ./cmd/paper -scale tiny -exp all \
+		-benchjson BENCH_$$stamp.json -metrics METRICS_$$stamp.json
 
 # Go-test microbenchmarks (result-shape metrics + hot-path ns/op).
 microbench:

@@ -3,14 +3,20 @@
 //
 // Usage:
 //
-//	paper [-scale tiny|bench|paper] [-exp all|table1|fig5|fig6|fig7|fig8|table2] [-seed N]
-//	      [-workers N] [-cpuprofile f] [-memprofile f] [-benchjson f] [-csv dir]
+//	paper [-scale tiny|bench|paper] [-exp all|table1|fig5|fig6|fig7|fig8|table2|attacks]
+//	      [-seed N] [-workers N] [-cpuprofile f] [-memprofile f] [-benchjson f]
+//	      [-csv dir] [-metrics f] [-progress]
 //	paper -benchdiff old.json new.json
 //
-// Output is the textual form of each table/figure; EXPERIMENTS.md records
-// a reference run against the paper's reported results. Experiments fan
-// their independent engines out over -workers goroutines (default: all
-// CPUs); results are identical for any worker count.
+// The experiment set is wlreviver.Experiments(); -exp selects one entry
+// by name (or "all"). Output is the textual form of each table/figure;
+// EXPERIMENTS.md records a reference run against the paper's reported
+// results. Experiments fan their independent engines out over -workers
+// goroutines (default: all CPUs); results are identical for any worker
+// count. -metrics attaches a wlreviver.Metrics observer to every engine
+// and writes the collected event counters and snapshot series as JSON
+// (schema in EXPERIMENTS.md); -progress streams snapshot lines to stderr.
+// Neither changes the simulated results or stdout.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"wlreviver"
@@ -46,6 +53,8 @@ func run() error {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	benchJSON := flag.String("benchjson", "", "write per-experiment wall-clock and writes/sec as JSON to this file")
 	benchDiff := flag.Bool("benchdiff", false, "compare two -benchjson files given as positional arguments and exit")
+	metricsPath := flag.String("metrics", "", "observe every engine and write event counters and snapshots as JSON to this file")
+	progress := flag.Bool("progress", false, "stream per-engine snapshot lines to stderr while experiments run")
 	flag.Parse()
 
 	if *benchDiff {
@@ -71,6 +80,18 @@ func run() error {
 	}
 	scale.Workers = *workers
 
+	var collector *metricsCollector
+	if *metricsPath != "" || *progress {
+		collector = &metricsCollector{
+			byKey:    make(map[string]*wlreviver.Metrics),
+			progress: *progress,
+		}
+		scale.Observe = collector.observe
+		// ~64 snapshots per full-length run, paced in simulated writes so
+		// the series is identical for any -workers value.
+		scale.SnapshotEvery = uint64(scale.MaxWritesPerBlock*float64(scale.Blocks)) / 64
+	}
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -93,20 +114,13 @@ func run() error {
 		*scaleName, scale.Blocks, scale.BlocksPerPage, scale.MeanEndurance,
 		scale.GapWritePeriod, scale.Seed, parallelNote)
 
-	type experiment struct {
-		name string
-		run  func() (fmt.Stringer, error)
-	}
-	experiments := []experiment{
-		{"table1", func() (fmt.Stringer, error) { return wlreviver.Table1(scale) }},
-		{"fig5", func() (fmt.Stringer, error) { return wlreviver.Fig5(scale) }},
-		{"fig6", func() (fmt.Stringer, error) { return both(scale, wlreviver.Fig6) }},
-		{"fig7", func() (fmt.Stringer, error) { return both(scale, wlreviver.Fig7) }},
-		{"fig8", func() (fmt.Stringer, error) { return both(scale, wlreviver.Fig8) }},
-		{"table2", func() (fmt.Stringer, error) {
-			return wlreviver.Table2(scale, []string{"mg", "ocean"})
-		}},
-		{"attacks", func() (fmt.Stringer, error) { return wlreviver.Attacks(scale) }},
+	experiments := wlreviver.Experiments()
+	if *exp != "all" {
+		e, err := wlreviver.LookupExperiment(*exp)
+		if err != nil {
+			return err
+		}
+		experiments = []wlreviver.Experiment{e}
 	}
 
 	report := benchReport{
@@ -115,34 +129,31 @@ func run() error {
 		Workers: scale.Workers,
 		NumCPU:  runtime.NumCPU(),
 	}
-	matched := false
 	for _, e := range experiments {
-		if *exp != "all" && *exp != e.name {
-			continue
-		}
-		matched = true
 		start := time.Now()
-		res, err := e.run()
+		res, err := e.Run(scale)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
+			return fmt.Errorf("%s: %w", e.Name, err)
 		}
 		elapsed := time.Since(start)
 		fmt.Println(res)
-		fmt.Printf("(%s took %v)\n\n", e.name, elapsed.Round(time.Millisecond))
-		report.add(e.name, elapsed, totalWrites(res))
+		fmt.Printf("(%s took %v)\n\n", e.Name, elapsed.Round(time.Millisecond))
+		report.add(e.Name, elapsed, totalWrites(res))
 		if *csvDir != "" {
-			if err := writeCSV(*csvDir, e.name, res); err != nil {
-				return fmt.Errorf("%s: writing csv: %w", e.name, err)
+			if err := writeCSV(*csvDir, e.Name, res); err != nil {
+				return fmt.Errorf("%s: writing csv: %w", e.Name, err)
 			}
 		}
-	}
-	if !matched {
-		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 
 	if *benchJSON != "" {
 		if err := report.write(*benchJSON); err != nil {
 			return fmt.Errorf("benchjson: %w", err)
+		}
+	}
+	if *metricsPath != "" {
+		if err := collector.write(*metricsPath); err != nil {
+			return fmt.Errorf("metrics: %w", err)
 		}
 	}
 	if *memProfile != "" {
@@ -277,19 +288,11 @@ type writeCounter interface {
 	TotalWrites() uint64
 }
 
-// totalWrites extracts the simulated write count from a result.
+// totalWrites extracts the simulated write count from a result
+// (wlreviver.ResultPair sums its halves itself).
 func totalWrites(res fmt.Stringer) uint64 {
-	switch r := res.(type) {
-	case pair:
-		var sum uint64
-		for _, half := range []fmt.Stringer{r.ocean, r.mg} {
-			if wc, ok := half.(writeCounter); ok {
-				sum += wc.TotalWrites()
-			}
-		}
-		return sum
-	case writeCounter:
-		return r.TotalWrites()
+	if wc, ok := res.(writeCounter); ok {
+		return wc.TotalWrites()
 	}
 	return 0
 }
@@ -303,8 +306,8 @@ type curveSet interface {
 func writeCSV(dir, exp string, res fmt.Stringer) error {
 	var sets []curveSet
 	switch r := res.(type) {
-	case pair:
-		for _, half := range []fmt.Stringer{r.ocean, r.mg} {
+	case wlreviver.ResultPair:
+		for _, half := range r.Halves() {
 			if cs, ok := half.(curveSet); ok {
 				sets = append(sets, cs)
 			}
@@ -359,24 +362,56 @@ func writeCSV(dir, exp string, res fmt.Stringer) error {
 	return nil
 }
 
-// pair formats the ocean and mg variants of a per-workload figure.
-type pair struct {
-	ocean fmt.Stringer
-	mg    fmt.Stringer
+// ---- engine observation (-metrics / -progress) ------------------------------
+
+// metricsCollector hands one wlreviver.Metrics accumulator to each engine
+// an experiment builds, keyed by the engine's role. The factory runs on
+// worker goroutines, hence the mutex; each returned observer serves one
+// engine, so the accumulators themselves are unshared.
+type metricsCollector struct {
+	mu       sync.Mutex
+	byKey    map[string]*wlreviver.Metrics
+	progress bool
 }
 
-// String renders both workloads.
-func (p pair) String() string { return p.ocean.String() + "\n" + p.mg.String() }
+// observe is the wlreviver.Scale.Observe factory.
+func (c *metricsCollector) observe(key string) wlreviver.Observer {
+	m := wlreviver.NewMetrics()
+	c.mu.Lock()
+	c.byKey[key] = m
+	c.mu.Unlock()
+	if c.progress {
+		return progressObserver{Metrics: m, key: key}
+	}
+	return m
+}
 
-// both runs a per-workload figure for ocean and mg.
-func both[T fmt.Stringer](scale wlreviver.Scale, f func(wlreviver.Scale, string) (T, error)) (fmt.Stringer, error) {
-	ocean, err := f(scale, "ocean")
-	if err != nil {
-		return nil, err
+// write dumps every engine's metrics report as one JSON document keyed
+// by engine role. Keys marshal sorted, so the file is deterministic.
+func (c *metricsCollector) write(path string) error {
+	c.mu.Lock()
+	reports := make(map[string]wlreviver.MetricsReport, len(c.byKey))
+	for key, m := range c.byKey {
+		reports[key] = m.Report()
 	}
-	mg, err := f(scale, "mg")
+	c.mu.Unlock()
+	data, err := json.MarshalIndent(reports, "", "  ")
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return pair{ocean: ocean, mg: mg}, nil
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// progressObserver forwards everything to its Metrics and additionally
+// streams each snapshot to stderr, leaving stdout byte-identical.
+type progressObserver struct {
+	*wlreviver.Metrics
+	key string
+}
+
+// Snapshot accumulates the sample and prints a progress line.
+func (p progressObserver) Snapshot(s wlreviver.Snapshot) {
+	p.Metrics.Snapshot(s)
+	fmt.Fprintf(os.Stderr, "progress %s: writes/block=%.0f survival=%.3f usable=%.3f dead=%d remaps=%d\n",
+		p.key, s.WritesPerBlock, s.SurvivalRate, s.UsableFraction, s.DeadBlocks, s.LiveRemaps)
 }

@@ -19,10 +19,21 @@ func main() {
 
 	// The "mg" workload is the paper's most skewed benchmark (write CoV
 	// 40.87): exactly the traffic that kills unprotected PCM early.
-	workload, err := wlreviver.NewBenchmarkWorkload("mg", cfg.Blocks, cfg.BlocksPerPage, 7)
+	workload, err := wlreviver.NewWorkload(wlreviver.WorkloadSpec{
+		Kind: "mg", Blocks: cfg.Blocks, PageBlocks: cfg.BlocksPerPage, Seed: 7,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Attach the standard metrics observer: it counts every lifecycle
+	// event (block failures, revivals, leveler moves, ...) and samples a
+	// cross-layer Snapshot every SnapshotEvery simulated writes.
+	// Observation is passive — the run is byte-identical without it.
+	metrics := wlreviver.NewMetrics()
+	cfg.Observer = metrics
+	cfg.SnapshotEvery = 4 << 20 // one sample per 4M writes
+
 	sys, err := wlreviver.New(cfg, workload)
 	if err != nil {
 		log.Fatal(err)
@@ -45,5 +56,14 @@ func main() {
 			"%d chain switches, %d sacrificed writes\n",
 			st.PagesAcquired, st.LinksCreated, st.ChainSwitches, st.SacrificedWrites)
 		fmt.Printf("average PCM accesses per request: %.4f (1.0 = no overhead)\n", sys.AccessRatio())
+	}
+
+	// The same accumulator is reachable from the system itself.
+	if m, ok := sys.Metrics(); ok {
+		fmt.Printf("\nobserved events: %v\n", m.Counters())
+		if last, ok := m.LastSnapshot(); ok {
+			fmt.Printf("last snapshot: %.0f writes/block, survival %.4f, wear CoV %.3f\n",
+				last.WritesPerBlock, last.SurvivalRate, last.WearCoV)
+		}
 	}
 }

@@ -1,0 +1,29 @@
+// Fixture: the observability package is part of the deterministic core,
+// so the determinism rules apply to it unchanged — snapshot pacing must
+// come from simulated writes, never the wall clock, and observers must
+// not fan work out on their own goroutines.
+package obs
+
+import (
+	"math/rand" // want no-global-rand "import of math/rand"
+	"time"
+)
+
+// StampSnapshot timestamps a sample from the wall clock — exactly the
+// design the simulated-write pacing exists to forbid.
+func StampSnapshot() int64 {
+	return time.Now().UnixNano() // want no-wallclock "wall-clock call time.Now"
+}
+
+// EmitAsync hands an event to a goroutine, making delivery order — and
+// hence any ordered sink — racy. One finding, one justified suppression.
+func EmitAsync(deliver func()) {
+	go deliver() // want confined-goroutines "go statement outside internal/sim/runner.go"
+	//lint:ignore confined-goroutines fixture demonstrates a justified suppression
+	go deliver()
+}
+
+// SampleJitter perturbs the snapshot period with the global RNG.
+func SampleJitter(every uint64) uint64 {
+	return every + uint64(rand.Intn(8)) // want no-global-rand "call to rand.Intn draws from math/rand"
+}

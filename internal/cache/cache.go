@@ -8,7 +8,11 @@
 // miss matters to the simulation, not the cached payload.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"wlreviver/internal/obs"
+)
 
 // Config describes the cache geometry.
 type Config struct {
@@ -49,6 +53,8 @@ type Cache struct {
 	clock uint64
 
 	hits, misses uint64
+
+	observer obs.Observer // nil unless attached; hit/miss probes
 }
 
 // New builds a cache. Sets must be a power of two.
@@ -86,6 +92,9 @@ func (c *Cache) Lookup(key uint64) bool {
 		if c.valid[i] && c.keys[i] == key {
 			c.age[i] = c.clock
 			c.hits++
+			if c.observer != nil {
+				c.observer.RemapCacheHit(key)
+			}
 			return true
 		}
 		if !c.valid[i] {
@@ -95,6 +104,9 @@ func (c *Cache) Lookup(key uint64) bool {
 		}
 	}
 	c.misses++
+	if c.observer != nil {
+		c.observer.RemapCacheMiss(key)
+	}
 	c.keys[victim] = key
 	c.valid[victim] = true
 	c.age[victim] = c.clock
@@ -140,3 +152,7 @@ func (c *Cache) HitRate() float64 {
 
 // Entries returns the total entry capacity.
 func (c *Cache) Entries() int { return c.cfg.Sets * c.cfg.Ways }
+
+// SetObserver attaches an event observer (nil detaches). Each Lookup
+// fires exactly one RemapCacheHit or RemapCacheMiss.
+func (c *Cache) SetObserver(o obs.Observer) { c.observer = o }

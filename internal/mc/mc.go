@@ -6,6 +6,7 @@ package mc
 
 import (
 	"wlreviver/internal/ecc"
+	"wlreviver/internal/obs"
 	"wlreviver/internal/osmodel"
 	"wlreviver/internal/pcm"
 	"wlreviver/internal/wear"
@@ -24,6 +25,10 @@ type Backend struct {
 	// exact failure times (see reviver's scenario tests); production
 	// stacks leave it nil.
 	FailureHook func(da, wear uint64) bool
+	// Observer, when non-nil, receives a BlockFailed event each time a
+	// block is declared dead on this write path. The backend is the sole
+	// place blocks die outside tests, so this single probe is authoritative.
+	Observer obs.Observer
 }
 
 // WriteRaw performs one raw block write at da. It returns false when the
@@ -44,14 +49,23 @@ func (b *Backend) WriteRaw(da uint64) bool {
 	}
 	nf := b.Dev.Write(pcm.BlockID(da))
 	if b.FailureHook != nil && b.FailureHook(da, b.Dev.Wear(pcm.BlockID(da))) {
-		b.Dev.MarkDead(pcm.BlockID(da))
+		b.markDead(da)
 		return false
 	}
 	if nf > 0 && !b.ECC.Absorb(pcm.BlockID(da), nf) {
-		b.Dev.MarkDead(pcm.BlockID(da))
+		b.markDead(da)
 		return false
 	}
 	return true
+}
+
+// markDead declares block da uncorrectable and emits the BlockFailed
+// event with the block's wear at death.
+func (b *Backend) markDead(da uint64) {
+	b.Dev.MarkDead(pcm.BlockID(da))
+	if b.Observer != nil {
+		b.Observer.BlockFailed(da, b.Dev.Wear(pcm.BlockID(da)))
+	}
 }
 
 // ReadRaw performs one raw block read at da.

@@ -1,0 +1,121 @@
+// Package obs is the simulator's deterministic observability layer:
+// typed engine lifecycle events and periodic metrics snapshots, paced
+// exclusively in simulated writes — never wall-clock time — so an
+// observed run is exactly as reproducible as an unobserved one.
+//
+// The layer is zero-cost when disabled: every probe site in the engine,
+// the device, the memory controller, the remap cache, the levelers and
+// the protection frameworks sits behind a nil-observer check, so the
+// write hot path is untouched unless an Observer is attached. With an
+// observer attached the event stream is a pure function of the
+// configuration seed — the probes only read simulation state, never
+// perturb it — which is what lets the experiment harness pin
+// byte-identical output with and without observation.
+package obs
+
+// Snapshot is a periodic cross-layer state sample, emitted by the
+// engine every SnapshotEvery simulated writes (the simulator's only
+// clock). Cumulative fields count since the start of the run.
+type Snapshot struct {
+	// Writes is the number of software writes serviced so far.
+	Writes uint64 `json:"writes"`
+	// WritesPerBlock is Writes normalised by software capacity — the
+	// scale-free x-axis used throughout EXPERIMENTS.md.
+	WritesPerBlock float64 `json:"writes_per_block"`
+	// SurvivalRate is the fraction of device blocks not declared dead.
+	SurvivalRate float64 `json:"survival_rate"`
+	// UsableFraction is the software-usable capacity fraction.
+	UsableFraction float64 `json:"usable_fraction"`
+	// DeadBlocks is the number of device blocks declared dead.
+	DeadBlocks uint64 `json:"dead_blocks"`
+	// RetiredPages is the number of OS pages retired.
+	RetiredPages uint64 `json:"retired_pages"`
+	// LiveRemaps is the number of failed blocks currently linked to
+	// virtual shadows (WL-Reviver only; 0 otherwise).
+	LiveRemaps int `json:"live_remaps"`
+	// SparePAs is the number of unlinked reserved PAs (WL-Reviver only).
+	SparePAs int `json:"spare_pas"`
+	// LevelerOps counts the wear-leveling scheme's remapping operations:
+	// Start-Gap gap movements, or Security Refresh outer-region swaps.
+	LevelerOps uint64 `json:"leveler_ops"`
+	// CacheHits and CacheMisses are the remap cache's cumulative lookup
+	// outcomes (0 when no cache is configured).
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// AccessRatio is raw PCM accesses per software request so far (the
+	// paper's Table II metric; 0 when the protector does not track it).
+	AccessRatio float64 `json:"access_ratio"`
+	// WearCoV is the coefficient of variation of per-block device wear —
+	// the leveling-quality metric.
+	WearCoV float64 `json:"wear_cov"`
+}
+
+// Observer receives typed engine lifecycle events. Implementations are
+// invoked synchronously from the simulation loop of a single engine and
+// need not be safe for concurrent use; the experiment runner attaches a
+// distinct observer to every engine it fans out. Observers must not
+// mutate simulation state — the engine's output is pinned byte-identical
+// with and without observation.
+//
+// Embed Base to implement only the events of interest, or use Metrics
+// for a ready-made accumulator.
+type Observer interface {
+	// BlockFailed fires when the ECC layer declares a device block
+	// uncorrectable; wear is the block's write count at death.
+	BlockFailed(da uint64, wear uint64)
+	// CellFailed fires when a PCM cell wears out; failedCells is the
+	// block's total after this failure. Blocks absorb many cell failures
+	// before BlockFailed (ECP6 corrects six per block).
+	CellFailed(da uint64, failedCells int)
+	// Revived fires when a failed block is linked to a virtual shadow PA
+	// (the WL-Reviver framework's fundamental recovery step).
+	Revived(da uint64, shadowPA uint64)
+	// RemapCacheHit and RemapCacheMiss fire per remap-cache lookup.
+	RemapCacheHit(key uint64)
+	RemapCacheMiss(key uint64)
+	// GapMoved fires per Start-Gap gap movement; region is the region
+	// index (0 for the single-region scheme) and gapDA the gap's device
+	// address after the move.
+	GapMoved(region int, gapDA uint64)
+	// RegionSwapped fires per Security Refresh block swap between device
+	// addresses a and b.
+	RegionSwapped(a, b uint64)
+	// PageRetired fires when the OS retires a page after a reported
+	// access failure.
+	PageRetired(page uint64)
+	// Snapshot fires every SnapshotEvery simulated writes with a
+	// cross-layer state sample.
+	Snapshot(s Snapshot)
+}
+
+// Base is a no-op Observer; embed it to implement a subset of events.
+type Base struct{}
+
+// BlockFailed implements Observer.
+func (Base) BlockFailed(uint64, uint64) {}
+
+// CellFailed implements Observer.
+func (Base) CellFailed(uint64, int) {}
+
+// Revived implements Observer.
+func (Base) Revived(uint64, uint64) {}
+
+// RemapCacheHit implements Observer.
+func (Base) RemapCacheHit(uint64) {}
+
+// RemapCacheMiss implements Observer.
+func (Base) RemapCacheMiss(uint64) {}
+
+// GapMoved implements Observer.
+func (Base) GapMoved(int, uint64) {}
+
+// RegionSwapped implements Observer.
+func (Base) RegionSwapped(uint64, uint64) {}
+
+// PageRetired implements Observer.
+func (Base) PageRetired(uint64) {}
+
+// Snapshot implements Observer.
+func (Base) Snapshot(Snapshot) {}
+
+var _ Observer = Base{}

@@ -18,6 +18,8 @@ package osmodel
 
 import (
 	"fmt"
+
+	"wlreviver/internal/obs"
 )
 
 // Relocation describes one block's OS-driven recovery copy when its page
@@ -38,6 +40,8 @@ type Model struct {
 	retired    []bool
 	retiredCnt uint64
 	donorCur   uint64 // round-robin cursor for choosing donor pages
+
+	observer obs.Observer // nil unless attached; PageRetired probe
 }
 
 // New builds a model covering numBlocks blocks with pages of
@@ -121,6 +125,9 @@ func (m *Model) ReportFailure(pa uint64) (reservedPAs []uint64, copies []Relocat
 	}
 	m.retired[page] = true
 	m.retiredCnt++
+	if m.observer != nil {
+		m.observer.PageRetired(page)
+	}
 
 	reservedPAs = make([]uint64, m.blocksPerPage)
 	for i := uint64(0); i < m.blocksPerPage; i++ {
@@ -171,6 +178,11 @@ func (m *Model) pickDonor() uint64 {
 		}
 	}
 }
+
+// SetObserver attaches an event observer (nil detaches). PageRetired
+// fires once per retirement in ReportFailure; LoadBitmap restores state
+// silently (a reboot replays no events).
+func (m *Model) SetObserver(o obs.Observer) { m.observer = o }
 
 // Bitmap returns a copy of the retirement bitmap, one bit per page,
 // little-endian within bytes. This is the structure WL-Reviver persists

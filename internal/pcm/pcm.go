@@ -27,7 +27,9 @@ import (
 	"fmt"
 	"math"
 
+	"wlreviver/internal/obs"
 	"wlreviver/internal/rng"
+	"wlreviver/internal/stats"
 )
 
 // BlockID is a device address (DA) in units of blocks.
@@ -126,6 +128,8 @@ type Device struct {
 	// streams cost O(1) extra per write, not O(NumBlocks).
 	horizon  uint64
 	rescanIn uint64
+
+	observer obs.Observer // nil unless attached; CellFailed probe
 }
 
 // NewDevice builds a chip from cfg.
@@ -230,6 +234,9 @@ func (d *Device) writeChecked(b BlockID) int {
 		d.failedCells[b]++
 		newFailures++
 		d.nextFail[b] = d.orderStatThreshold(b, int(d.failedCells[b]))
+		if d.observer != nil {
+			d.observer.CellFailed(uint64(b), int(d.failedCells[b]))
+		}
 	}
 	if d.rescanIn > 0 {
 		d.rescanIn--
@@ -272,6 +279,17 @@ func (d *Device) WearCounts() []uint64 {
 	copy(out, d.wear)
 	return out
 }
+
+// WearCoV computes the coefficient of variation of per-block wear without
+// copying the counts, for periodic snapshots.
+func (d *Device) WearCoV() float64 {
+	return stats.CoVOfCounts(d.wear)
+}
+
+// SetObserver attaches an event observer (nil detaches). Cell-failure
+// events fire only on the checked write path; the failure-horizon fast
+// path by construction services writes that cannot fail a cell.
+func (d *Device) SetObserver(o obs.Observer) { d.observer = o }
 
 // FailedCells returns the number of failed cells in block b.
 func (d *Device) FailedCells(b BlockID) int { return int(d.failedCells[b]) }

@@ -38,6 +38,7 @@ import (
 
 	"wlreviver/internal/cache"
 	"wlreviver/internal/mc"
+	"wlreviver/internal/obs"
 	"wlreviver/internal/osmodel"
 	"wlreviver/internal/wear"
 )
@@ -62,6 +63,9 @@ type Config struct {
 	// a page — a design the paper rejects because it needs a new
 	// interrupt type and OS changes. For the ablation benchmark.
 	ImmediateAcquisition bool
+	// Observer, when non-nil, receives a Revived event each time a failed
+	// block is linked to a virtual shadow PA.
+	Observer obs.Observer
 }
 
 // Stats counts the framework's activity.
@@ -251,6 +255,9 @@ func (r *Reviver) link(da, p uint64) {
 	r.st.LinksCreated++
 	if r.cfg.RemapCache != nil {
 		r.cfg.RemapCache.Invalidate(da)
+	}
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.Revived(da, p)
 	}
 }
 

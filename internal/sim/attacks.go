@@ -59,14 +59,15 @@ func Attacks(s Scale) (*AttacksResult, error) {
 			if withWLR {
 				scheme = "ECP6-SG-WLR"
 			}
+			key := "attacks/" + atk.name + "/" + scheme
 			jobs = append(jobs, Job[AttackRow]{
-				Name: "attacks/" + atk.name + "/" + scheme,
+				Name: key,
 				Run: func() (AttackRow, uint64, error) {
 					gen, err := atk.make(s.Seed)
 					if err != nil {
 						return AttackRow{}, 0, err
 					}
-					cfg := s.config()
+					cfg := s.engineConfig(key)
 					if withWLR {
 						cfg.Protector = ProtectorWLReviver
 					} else {

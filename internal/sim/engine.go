@@ -14,6 +14,7 @@ import (
 	"wlreviver/internal/freep"
 	"wlreviver/internal/lls"
 	"wlreviver/internal/mc"
+	"wlreviver/internal/obs"
 	"wlreviver/internal/osmodel"
 	"wlreviver/internal/pcm"
 	"wlreviver/internal/reviver"
@@ -168,6 +169,17 @@ type Config struct {
 	// RevPointerBytes overrides the reviver's stored PA pointer size
 	// (default 4), which sets the inverse-pointer section split.
 	RevPointerBytes int
+
+	// Observer, when non-nil, receives typed lifecycle events from every
+	// layer plus periodic Snapshot samples. Observation is passive: the
+	// simulated outcome is byte-identical with and without it, and the
+	// write hot path pays nothing when it is nil.
+	Observer obs.Observer
+	// SnapshotEvery is the snapshot period in simulated writes — the
+	// simulator's only clock, so snapshot timing is deterministic and
+	// independent of wall-clock or worker count. 0 defaults to Blocks
+	// (one snapshot per writes-per-block unit) when an Observer is set.
+	SnapshotEvery uint64
 }
 
 // DefaultConfig returns the scaled default geometry: 2^16 blocks (4 MiB),
@@ -229,6 +241,13 @@ type Engine struct {
 
 	writes  uint64
 	stopped bool
+
+	// Observation state: snapEvery is 0 when no observer is attached, so
+	// the hot path's snapshot check is a single always-false compare.
+	observer   obs.Observer
+	remapCache *cache.Cache
+	snapEvery  uint64
+	nextSnap   uint64
 }
 
 // addrBatch is the address-prefetch chunk size: large enough to amortize
@@ -381,6 +400,7 @@ func NewEngine(cfg Config, gen trace.Generator) (*Engine, error) {
 			RemapCache:            remapCache,
 			DisableChainReduction: cfg.DisableChainReduction,
 			ImmediateAcquisition:  cfg.ImmediateAcquisition,
+			Observer:              cfg.Observer,
 		}, lv, be, osm)
 	case ProtectorFREEp:
 		prot, err = freep.New(freep.Config{
@@ -426,7 +446,77 @@ func NewEngine(cfg Config, gen trace.Generator) (*Engine, error) {
 		e.batchGen = bg
 		e.addrBuf = make([]uint64, 0, addrBatch)
 	}
+	e.remapCache = remapCache
+	if cfg.Observer != nil {
+		e.attachObserver(cfg.Observer, cfg.SnapshotEvery)
+	}
 	return e, nil
+}
+
+// observable is the optional probe-attachment interface wear levelers
+// (and custom levelers that want events) implement.
+type observable interface {
+	SetObserver(obs.Observer)
+}
+
+// attachObserver wires o into every instrumented layer and arms the
+// snapshot pacing. every is the snapshot period in simulated writes
+// (0: one snapshot per Blocks writes).
+func (e *Engine) attachObserver(o obs.Observer, every uint64) {
+	e.observer = o
+	e.dev.SetObserver(o)
+	e.be.Observer = o
+	e.os.SetObserver(o)
+	if e.remapCache != nil {
+		e.remapCache.SetObserver(o)
+	}
+	if lo, ok := e.lv.(observable); ok {
+		lo.SetObserver(o)
+	}
+	if every == 0 {
+		every = e.cfg.Blocks
+	}
+	e.snapEvery = every
+	e.nextSnap = every
+}
+
+// Metrics returns the attached observer as the standard *obs.Metrics
+// accumulator, when the configuration used one.
+func (e *Engine) Metrics() (*obs.Metrics, bool) {
+	m, ok := e.observer.(*obs.Metrics)
+	return m, ok
+}
+
+// emitSnapshot samples every layer into one obs.Snapshot. Runs off the
+// hot path (at most once per snapEvery writes).
+func (e *Engine) emitSnapshot() {
+	s := obs.Snapshot{
+		Writes:         e.writes,
+		WritesPerBlock: e.WritesPerBlock(),
+		SurvivalRate:   e.dev.SurvivalRate(),
+		UsableFraction: e.UsableFraction(),
+		DeadBlocks:     e.dev.DeadBlocks(),
+		RetiredPages:   e.os.RetiredPages(),
+		AccessRatio:    e.AccessRatio(),
+		WearCoV:        e.dev.WearCoV(),
+	}
+	if e.rev != nil {
+		s.LiveRemaps = e.rev.LinkedFailures()
+		s.SparePAs = e.rev.AvailableSpares()
+	}
+	switch {
+	case e.sgLv != nil:
+		s.LevelerOps = e.sgLv.GapMoves()
+	case e.srLv != nil:
+		s.LevelerOps = e.srLv.OuterSwaps()
+	case e.rsgLv != nil:
+		s.LevelerOps = e.rsgLv.GapMoves()
+	}
+	if e.remapCache != nil {
+		s.CacheHits = e.remapCache.Hits()
+		s.CacheMisses = e.remapCache.Misses()
+	}
+	e.observer.Snapshot(s)
 }
 
 // nextAddr returns the next workload address, refilling the prefetch
@@ -633,6 +723,13 @@ func (e *Engine) writeTagged(vblock, tag uint64) bool {
 		}
 	} else if e.llsStack {
 		e.stopped = true
+	}
+	if e.snapEvery != 0 && e.writes >= e.nextSnap {
+		// Snapshots fire at exact simulated-write thresholds, so an
+		// observed run across any batching or worker count sees the same
+		// series.
+		e.emitSnapshot()
+		e.nextSnap += e.snapEvery
 	}
 	return true
 }

@@ -7,6 +7,7 @@ import (
 	"wlreviver/internal/freep"
 	"wlreviver/internal/lls"
 	"wlreviver/internal/mc"
+	"wlreviver/internal/obs"
 	"wlreviver/internal/reviver"
 	"wlreviver/internal/stats"
 	"wlreviver/internal/trace"
@@ -35,6 +36,18 @@ type Scale struct {
 	// are identical for every value — every engine owns its seed and
 	// shares nothing (enforced by TestParallelMatchesSerial).
 	Workers int
+	// Observe, when non-nil, is invoked once per engine an experiment
+	// builds, with a stable key naming the engine's role (e.g.
+	// "fig6/ocean/ECP6-SG-WLR"); the returned observer (which may be nil)
+	// is attached to that engine. The factory runs on worker goroutines
+	// and must be safe for concurrent calls, but each returned observer
+	// serves exactly one engine, so the observers themselves need no
+	// locking. Observation never changes experiment results (enforced by
+	// TestObserverDoesNotPerturb).
+	Observe func(key string) obs.Observer
+	// SnapshotEvery is the per-engine snapshot period in simulated writes
+	// (0: one snapshot per Blocks writes). Only meaningful with Observe.
+	SnapshotEvery uint64
 }
 
 // TinyScale is for unit tests: a 64 KiB chip.
@@ -81,6 +94,25 @@ func (s Scale) config() Config {
 // maxWrites returns the run budget in writes.
 func (s Scale) maxWrites() uint64 {
 	return uint64(s.MaxWritesPerBlock * float64(s.Blocks))
+}
+
+// engineConfig derives the engine config for the engine identified by
+// key, attaching an observer from the scale's factory when one is set.
+func (s Scale) engineConfig(key string) Config {
+	cfg := s.config()
+	if s.Observe != nil {
+		cfg.Observer = s.Observe(key)
+		cfg.SnapshotEvery = s.SnapshotEvery
+	}
+	return cfg
+}
+
+// validateWorkload rejects unknown benchmark names before any job fans
+// out, so a typo fails fast with the known names instead of erroring
+// deep inside trace construction on a worker.
+func validateWorkload(workload string) error {
+	_, err := trace.LookupBenchmark(workload)
+	return err
 }
 
 // benchmarkGen builds the synthetic stand-in for a Table I benchmark.
@@ -234,14 +266,15 @@ func Fig5(s Scale) (*Fig5Result, error) {
 	var jobs []Job[float64]
 	for _, spec := range trace.Benchmarks {
 		for _, withWLR := range []bool{false, true} {
+			key := fmt.Sprintf("fig5/%s/wlr=%v", spec.Name, withWLR)
 			jobs = append(jobs, Job[float64]{
-				Name: fmt.Sprintf("fig5/%s/wlr=%v", spec.Name, withWLR),
+				Name: key,
 				Run: func() (float64, uint64, error) {
 					gen, err := s.benchmarkGen(spec.Name)
 					if err != nil {
 						return 0, 0, err
 					}
-					cfg := s.config()
+					cfg := s.engineConfig(key)
 					if withWLR {
 						cfg.Protector = ProtectorWLReviver
 					} else {
@@ -307,6 +340,9 @@ func (r *Fig6Result) TotalWrites() uint64 { return r.SimWrites }
 // retirement cascade modelled, the equivalent decay is expressed in
 // usable capacity (EXPERIMENTS.md discusses the correspondence).
 func Fig6(s Scale, workload string) (*Fig6Result, error) {
+	if err := validateWorkload(workload); err != nil {
+		return nil, err
+	}
 	type variant struct {
 		name  string
 		ecc   ECCKind
@@ -328,7 +364,9 @@ func Fig6(s Scale, workload string) (*Fig6Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			cfg := s.config()
+			// Curve names repeat across figures, so the observer key is
+			// qualified with the experiment and workload.
+			cfg := s.engineConfig("fig6/" + workload + "/" + v.name)
 			cfg.ECC = v.ecc
 			cfg.Leveler = v.level
 			cfg.Protector = v.prot
@@ -364,6 +402,9 @@ func (r *Fig7Result) TotalWrites() uint64 { return r.SimWrites }
 // Fig7 produces the usable-space comparison under ECP6 + Start-Gap, one
 // job per protection arm.
 func Fig7(s Scale, workload string) (*Fig7Result, error) {
+	if err := validateWorkload(workload); err != nil {
+		return nil, err
+	}
 	arms := []struct {
 		name    string
 		prot    ProtectorKind
@@ -383,7 +424,7 @@ func Fig7(s Scale, workload string) (*Fig7Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			cfg := s.config()
+			cfg := s.engineConfig("fig7/" + workload + "/" + a.name)
 			cfg.Protector = a.prot
 			cfg.FreepReserveFraction = a.reserve
 			return NewEngine(cfg, gen)
@@ -418,6 +459,9 @@ func (r *Fig8Result) TotalWrites() uint64 { return r.SimWrites }
 // Fig8 produces the WLR-vs-LLS usable-space comparison, one job per
 // scheme.
 func Fig8(s Scale, workload string) (*Fig8Result, error) {
+	if err := validateWorkload(workload); err != nil {
+		return nil, err
+	}
 	arms := []struct {
 		name string
 		prot ProtectorKind
@@ -429,7 +473,7 @@ func Fig8(s Scale, workload string) (*Fig8Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			cfg := s.config()
+			cfg := s.engineConfig("fig8/" + workload + "/" + a.name)
 			cfg.Protector = a.prot
 			return NewEngine(cfg, gen)
 		}, usable, 0.50, s.maxWrites()))
@@ -498,7 +542,7 @@ func table2Run(s Scale, scheme string, prot ProtectorKind, workload string) ([]T
 	if err != nil {
 		return nil, 0, err
 	}
-	cfg := s.config()
+	cfg := s.engineConfig("table2/" + scheme + "/" + workload)
 	cfg.Protector = prot
 	cfg.CacheKB = 32
 	e, err := NewEngine(cfg, gen)
@@ -541,6 +585,11 @@ func table2Run(s Scale, scheme string, prot ProtectorKind, workload string) ([]T
 // usable space at 10/20/30% failed blocks, for LLS and WL-Reviver on the
 // given workloads — one job per (scheme, workload) engine.
 func Table2(s Scale, workloads []string) (*Table2Result, error) {
+	for _, w := range workloads {
+		if err := validateWorkload(w); err != nil {
+			return nil, err
+		}
+	}
 	var jobs []Job[[]Table2Cell]
 	for _, v := range []struct {
 		name string

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReferenceWorkloads are the two Table I benchmarks the paper's
+// per-workload figures (6–8) and Table II are evaluated on.
+var ReferenceWorkloads = []string{"ocean", "mg"}
+
+// Experiment is one registered evaluation preset: a stable name, a
+// one-line description, and a runner producing the printable result.
+// Every result also implements TotalWrites() uint64 (write-volume
+// accounting) and, for the curve figures, CurveData() (CSV export).
+type Experiment struct {
+	Name string
+	Doc  string
+	Run  func(Scale) (fmt.Stringer, error)
+}
+
+// Experiments returns the ordered experiment registry — the single place
+// evaluation presets are declared. The CLI's -exp dispatch and the public
+// wlreviver re-exports are both built over it, so adding an experiment
+// here surfaces it everywhere.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			Name: "table1",
+			Doc:  "benchmark write CoVs, paper vs synthetic stand-ins",
+			Run:  func(s Scale) (fmt.Stringer, error) { return Table1(s) },
+		},
+		{
+			Name: "fig5",
+			Doc:  "lifetime to 30% capacity loss per benchmark, ±WL-Reviver",
+			Run:  func(s Scale) (fmt.Stringer, error) { return Fig5(s) },
+		},
+		{
+			Name: "fig6",
+			Doc:  "capacity-survival curves under six ECC/leveler stacks",
+			Run:  func(s Scale) (fmt.Stringer, error) { return bothWorkloads(s, Fig6) },
+		},
+		{
+			Name: "fig7",
+			Doc:  "user-usable space, WL-Reviver vs FREE-p reservations",
+			Run:  func(s Scale) (fmt.Stringer, error) { return bothWorkloads(s, Fig7) },
+		},
+		{
+			Name: "fig8",
+			Doc:  "software-usable space, WL-Reviver vs LLS",
+			Run:  func(s Scale) (fmt.Stringer, error) { return bothWorkloads(s, Fig8) },
+		},
+		{
+			Name: "table2",
+			Doc:  "access time and usable space at 10/20/30% failed blocks",
+			Run: func(s Scale) (fmt.Stringer, error) {
+				return Table2(s, []string{"mg", "ocean"})
+			},
+		},
+		{
+			Name: "attacks",
+			Doc:  "hammering and birthday-paradox attack costs, ±WL-Reviver",
+			Run:  func(s Scale) (fmt.Stringer, error) { return Attacks(s) },
+		},
+	}
+}
+
+// ExperimentNames returns the registered names in registry order.
+func ExperimentNames() []string {
+	exps := Experiments()
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// LookupExperiment returns the registered experiment with the given name,
+// or an error listing the known names.
+func LookupExperiment(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	known := ExperimentNames()
+	sort.Strings(known)
+	return Experiment{}, fmt.Errorf("sim: unknown experiment %q (known: %v)", name, known)
+}
+
+// ResultPair bundles a per-workload figure's runs over the two reference
+// workloads into one result, in presentation order.
+type ResultPair struct {
+	First  fmt.Stringer
+	Second fmt.Stringer
+}
+
+// String renders both workloads' results.
+func (p ResultPair) String() string { return p.First.String() + "\n" + p.Second.String() }
+
+// Halves returns the per-workload results in presentation order.
+func (p ResultPair) Halves() []fmt.Stringer { return []fmt.Stringer{p.First, p.Second} }
+
+// TotalWrites sums the simulated write volume across both halves.
+func (p ResultPair) TotalWrites() uint64 {
+	var sum uint64
+	for _, h := range p.Halves() {
+		if wc, ok := h.(interface{ TotalWrites() uint64 }); ok {
+			sum += wc.TotalWrites()
+		}
+	}
+	return sum
+}
+
+// bothWorkloads runs a per-workload figure for the reference workloads.
+func bothWorkloads[T fmt.Stringer](s Scale, f func(Scale, string) (T, error)) (fmt.Stringer, error) {
+	first, err := f(s, ReferenceWorkloads[0])
+	if err != nil {
+		return nil, err
+	}
+	second, err := f(s, ReferenceWorkloads[1])
+	if err != nil {
+		return nil, err
+	}
+	return ResultPair{First: first, Second: second}, nil
+}

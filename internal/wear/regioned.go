@@ -3,6 +3,8 @@ package wear
 import (
 	"fmt"
 	"math/bits"
+
+	"wlreviver/internal/obs"
 )
 
 // RegionedStartGap is the practical Start-Gap organisation from the
@@ -155,6 +157,31 @@ func (s *RegionedStartGap) GapMoves() uint64 {
 		total += r.GapMoves()
 	}
 	return total
+}
+
+// regionGapObserver translates a region-local GapMoved event into chip
+// coordinates: the real region index and the gap's chip device address.
+type regionGapObserver struct {
+	obs.Base
+	o      obs.Observer
+	region int
+	base   uint64
+}
+
+func (r regionGapObserver) GapMoved(_ int, gapDA uint64) {
+	r.o.GapMoved(r.region, r.base+gapDA)
+}
+
+// SetObserver attaches an event observer (nil detaches). Each region's
+// gap movement fires GapMoved with the region index and the chip DA.
+func (s *RegionedStartGap) SetObserver(o obs.Observer) {
+	for i, r := range s.regions {
+		if o == nil {
+			r.SetObserver(nil)
+			continue
+		}
+		r.SetObserver(regionGapObserver{o: o, region: i, base: uint64(i) * s.daStride})
+	}
 }
 
 var _ Leveler = (*RegionedStartGap)(nil)

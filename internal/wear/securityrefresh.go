@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"wlreviver/internal/obs"
 	"wlreviver/internal/rng"
 )
 
@@ -140,6 +141,8 @@ type SecurityRefresh struct {
 	mask   uint64
 	outerW uint64
 	innerW []uint64
+
+	observer obs.Observer // nil unless attached; RegionSwapped probe
 }
 
 // NewSecurityRefresh builds the scheme.
@@ -235,7 +238,11 @@ func (s *SecurityRefresh) NoteWrite(pa uint64, mover Mover) {
 	if s.outerW >= s.cfg.OuterWritePeriod {
 		s.outerW = 0
 		s.outer.step(func(a, b uint64) {
-			mover.Swap(s.midToDA(a), s.midToDA(b))
+			da1, da2 := s.midToDA(a), s.midToDA(b)
+			mover.Swap(da1, da2)
+			if s.observer != nil {
+				s.observer.RegionSwapped(da1, da2)
+			}
 		})
 	}
 	if len(s.inner) == 0 {
@@ -248,9 +255,17 @@ func (s *SecurityRefresh) NoteWrite(pa uint64, mover Mover) {
 		base := region << s.shift
 		s.inner[region].step(func(a, b uint64) {
 			mover.Swap(base|a, base|b)
+			if s.observer != nil {
+				s.observer.RegionSwapped(base|a, base|b)
+			}
 		})
 	}
 }
+
+// SetObserver attaches an event observer (nil detaches). RegionSwapped
+// fires once per outer or inner refresh swap with the device addresses
+// exchanged.
+func (s *SecurityRefresh) SetObserver(o obs.Observer) { s.observer = o }
 
 // OuterSwaps returns the number of outer-level swaps performed.
 func (s *SecurityRefresh) OuterSwaps() uint64 { return s.outer.swaps }

@@ -1,6 +1,10 @@
 package wear
 
-import "fmt"
+import (
+	"fmt"
+
+	"wlreviver/internal/obs"
+)
 
 // StartGap implements the Start-Gap wear-leveling scheme (Qureshi et al.,
 // MICRO'09), the representative scheme used throughout the paper's
@@ -30,6 +34,8 @@ type StartGap struct {
 	writes uint64 // writes since last gap movement
 
 	gapMoves uint64
+
+	observer obs.Observer // nil unless attached; GapMoved probe
 }
 
 // StartGapConfig configures a StartGap leveler.
@@ -160,7 +166,14 @@ func (s *StartGap) moveGap(mover Mover) {
 		}
 	}
 	s.gapMoves++
+	if s.observer != nil {
+		s.observer.GapMoved(0, s.gap)
+	}
 }
+
+// SetObserver attaches an event observer (nil detaches). GapMoved fires
+// once per gap movement with region 0 and the gap's new device address.
+func (s *StartGap) SetObserver(o obs.Observer) { s.observer = o }
 
 // ForceGapMove triggers one gap movement immediately, regardless of the
 // write counter. Used by tests and by analyses that need to step the

@@ -1,0 +1,35 @@
+package wlreviver
+
+import (
+	"wlreviver/internal/obs"
+)
+
+// Observer receives typed engine lifecycle events — block and cell
+// failures, revivals, remap-cache hits, leveler operations, page
+// retirements — plus periodic Snapshot samples paced in simulated
+// writes. Attach one via Config.Observer; observation is passive (the
+// simulated outcome is byte-identical with and without it) and free when
+// no observer is attached. Embed ObserverBase to implement a subset of
+// events, or use Metrics for a ready-made accumulator.
+type Observer = obs.Observer
+
+// ObserverBase is a no-op Observer to embed when implementing only the
+// events of interest.
+type ObserverBase = obs.Base
+
+// Snapshot is a periodic cross-layer state sample an Observer receives
+// every Config.SnapshotEvery simulated writes.
+type Snapshot = obs.Snapshot
+
+// Metrics is the standard Observer: named event counters, the snapshot
+// series, and wear-at-death distribution summaries. Retrieve it from a
+// running System with System.Metrics(); serialise it with
+// Metrics.Report (deterministic JSON).
+type Metrics = obs.Metrics
+
+// MetricsReport is a Metrics accumulator's serialisable form.
+type MetricsReport = obs.Report
+
+// NewMetrics returns an empty Metrics accumulator to use as
+// Config.Observer.
+func NewMetrics() *Metrics { return obs.NewMetrics() }

@@ -1,0 +1,72 @@
+package wlreviver
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	wantOrder := []string{"table1", "fig5", "fig6", "fig7", "fig8", "table2", "attacks"}
+	if got := ExperimentNames(); !reflect.DeepEqual(got, wantOrder) {
+		t.Fatalf("ExperimentNames() = %v, want %v", got, wantOrder)
+	}
+	for _, e := range Experiments() {
+		if e.Name == "" || e.Doc == "" || e.Run == nil {
+			t.Errorf("incomplete registry entry %+v", e)
+		}
+	}
+	if _, err := LookupExperiment("table1"); err != nil {
+		t.Error(err)
+	}
+	_, err := LookupExperiment("fig9")
+	if err == nil || !strings.Contains(err.Error(), "fig9") || !strings.Contains(err.Error(), "table2") {
+		t.Errorf("unknown-experiment error should name the request and the known set: %v", err)
+	}
+}
+
+// TestRegistryDrivesFacade pins that the preset functions dispatch
+// through the registry and keep their concrete result types.
+func TestRegistryDrivesFacade(t *testing.T) {
+	s := TinyScale()
+	direct, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := LookupExperiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRegistry, err := e.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaRegistry.String() != direct.String() {
+		t.Error("registry and facade runs disagree")
+	}
+	if _, ok := viaRegistry.(*Table1Result); !ok {
+		t.Errorf("registry returned %T, want *Table1Result", viaRegistry)
+	}
+}
+
+// TestUnknownWorkloadRejectedUpfront pins the bugfix: per-workload
+// experiments reject a bad workload name before running any engine, with
+// an error listing the known benchmarks.
+func TestUnknownWorkloadRejectedUpfront(t *testing.T) {
+	s := TinyScale()
+	for name, run := range map[string]func() error{
+		"fig6":   func() error { _, err := Fig6(s, "nosuch"); return err },
+		"fig7":   func() error { _, err := Fig7(s, "nosuch"); return err },
+		"fig8":   func() error { _, err := Fig8(s, "nosuch"); return err },
+		"table2": func() error { _, err := Table2(s, []string{"mg", "nosuch"}); return err },
+	} {
+		err := run()
+		if err == nil {
+			t.Errorf("%s accepted unknown workload", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "nosuch") || !strings.Contains(err.Error(), "mg") {
+			t.Errorf("%s error should name the bad workload and the known set: %v", name, err)
+		}
+	}
+}

@@ -28,6 +28,12 @@ go run ./cmd/wlvet ./...
 echo "== go build ./..."
 go build ./...
 
+# The examples are runnable documentation with no tests of their own;
+# build them explicitly so an API change that breaks one fails the gate
+# by name rather than hiding inside the tree build above.
+echo "== go build ./examples/..."
+go build ./examples/...
+
 echo "== go test ./..."
 go test ./...
 

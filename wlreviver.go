@@ -14,7 +14,9 @@
 // # Quick start
 //
 //	cfg := wlreviver.DefaultConfig()
-//	workload, _ := wlreviver.NewBenchmarkWorkload("mg", cfg.Blocks, cfg.BlocksPerPage, 1)
+//	workload, _ := wlreviver.NewWorkload(wlreviver.WorkloadSpec{
+//		Kind: "mg", Blocks: cfg.Blocks, PageBlocks: cfg.BlocksPerPage, Seed: 1,
+//	})
 //	sys, _ := wlreviver.New(cfg, workload)
 //	sys.Run(10_000_000, nil)
 //	fmt.Printf("survival %.3f usable %.3f\n", sys.SurvivalRate(), sys.UsableFraction())
@@ -25,6 +27,8 @@
 package wlreviver
 
 import (
+	"fmt"
+
 	"wlreviver/internal/sim"
 	"wlreviver/internal/trace"
 	"wlreviver/internal/wear"
@@ -86,34 +90,46 @@ func New(cfg Config, workload Workload) (*System, error) {
 }
 
 // NewUniformWorkload returns uniformly random writes over blocks.
+//
+// Deprecated: use NewWorkload with WorkloadSpec{Kind: WorkloadUniform}.
 func NewUniformWorkload(blocks, seed uint64) (Workload, error) {
-	return trace.NewUniform(blocks, seed)
+	return NewWorkload(WorkloadSpec{Kind: WorkloadUniform, Blocks: blocks, Seed: seed})
 }
 
 // NewBenchmarkWorkload returns the synthetic stand-in for one of the
 // paper's Table I benchmarks ("blackscholes", "streamcluster",
 // "swaptions", "mg", "fft", "ocean", "radix", "water-spatial"),
 // calibrated to its write CoV.
+//
+// Deprecated: use NewWorkload with the benchmark name as the Kind.
 func NewBenchmarkWorkload(name string, blocks, pageBlocks, seed uint64) (Workload, error) {
-	return trace.NewBenchmark(name, blocks, pageBlocks, seed)
+	return NewWorkload(WorkloadSpec{Kind: name, Blocks: blocks, PageBlocks: pageBlocks, Seed: seed})
 }
 
 // NewSkewedWorkload returns a stationary workload calibrated to an
 // arbitrary write CoV.
+//
+// Deprecated: use NewWorkload with WorkloadSpec{Kind: WorkloadSkewed}.
 func NewSkewedWorkload(blocks, pageBlocks uint64, cov float64, seed uint64) (Workload, error) {
-	return trace.NewWeighted(trace.WeightedConfig{
-		NumBlocks: blocks, PageBlocks: pageBlocks, TargetCoV: cov, Seed: seed,
+	return NewWorkload(WorkloadSpec{
+		Kind: WorkloadSkewed, Blocks: blocks, PageBlocks: pageBlocks, CoV: cov, Seed: seed,
 	})
 }
 
 // NewHammerWorkload returns a malicious single-set hammering attack.
+//
+// Deprecated: use NewWorkload with WorkloadSpec{Kind: WorkloadHammer}.
 func NewHammerWorkload(blocks uint64, targets []uint64) (Workload, error) {
-	return trace.NewHammer(blocks, targets)
+	return NewWorkload(WorkloadSpec{Kind: WorkloadHammer, Blocks: blocks, Targets: targets})
 }
 
 // NewBirthdayParadoxWorkload returns Seznec's birthday-paradox attack.
+//
+// Deprecated: use NewWorkload with WorkloadSpec{Kind: WorkloadBirthday}.
 func NewBirthdayParadoxWorkload(blocks uint64, setSize int, burst, seed uint64) (Workload, error) {
-	return trace.NewBirthdayParadox(blocks, setSize, burst, seed)
+	return NewWorkload(WorkloadSpec{
+		Kind: WorkloadBirthday, Blocks: blocks, SetSize: setSize, Burst: burst, Seed: seed,
+	})
 }
 
 // BenchmarkNames lists the Table I benchmark names.
@@ -149,24 +165,64 @@ type (
 	AttacksResult = sim.AttacksResult
 )
 
+// Experiment is one registered evaluation preset (name, doc, runner).
+type Experiment = sim.Experiment
+
+// ResultPair bundles a per-workload figure's runs over the two reference
+// workloads into one result.
+type ResultPair = sim.ResultPair
+
+// Experiments returns the ordered experiment registry; the CLI's -exp
+// dispatch and the preset functions below are built over it.
+func Experiments() []Experiment { return sim.Experiments() }
+
+// ExperimentNames returns the registered experiment names in order.
+func ExperimentNames() []string { return sim.ExperimentNames() }
+
+// LookupExperiment returns the registered experiment with the given
+// name, or an error listing the known names.
+func LookupExperiment(name string) (Experiment, error) { return sim.LookupExperiment(name) }
+
+// runRegistered dispatches a fixed-configuration preset through the
+// registry, so the registry stays the one authority on what each named
+// experiment runs.
+func runRegistered[T any](name string, s Scale) (T, error) {
+	var zero T
+	e, err := LookupExperiment(name)
+	if err != nil {
+		return zero, err
+	}
+	res, err := e.Run(s)
+	if err != nil {
+		return zero, err
+	}
+	out, ok := res.(T)
+	if !ok {
+		return zero, fmt.Errorf("wlreviver: experiment %q returned %T", name, res)
+	}
+	return out, nil
+}
+
 // Table1 regenerates Table I (benchmark write CoVs).
-func Table1(s Scale) (*Table1Result, error) { return sim.Table1(s) }
+func Table1(s Scale) (*Table1Result, error) { return runRegistered[*Table1Result]("table1", s) }
 
 // Fig5 regenerates Figure 5 (lifetime to 30% capacity loss, ±WLR).
-func Fig5(s Scale) (*Fig5Result, error) { return sim.Fig5(s) }
+func Fig5(s Scale) (*Fig5Result, error) { return runRegistered[*Fig5Result]("fig5", s) }
 
 // Fig6 regenerates Figure 6 (capacity-survival curves) for a benchmark.
+// The registry's "fig6" entry fixes the paper's reference workloads; this
+// parameterised form accepts any Table I benchmark name.
 func Fig6(s Scale, workload string) (*Fig6Result, error) { return sim.Fig6(s, workload) }
 
-// Fig7 regenerates Figure 7 (WLR vs FREE-p reservations).
+// Fig7 regenerates Figure 7 (WLR vs FREE-p reservations) for a benchmark.
 func Fig7(s Scale, workload string) (*Fig7Result, error) { return sim.Fig7(s, workload) }
 
-// Fig8 regenerates Figure 8 (WLR vs LLS usable space).
+// Fig8 regenerates Figure 8 (WLR vs LLS usable space) for a benchmark.
 func Fig8(s Scale, workload string) (*Fig8Result, error) { return sim.Fig8(s, workload) }
 
 // Table2 regenerates Table II (access time and usable space vs failure
-// ratio, LLS vs WLR).
+// ratio, LLS vs WLR) for the given benchmark workloads.
 func Table2(s Scale, workloads []string) (*Table2Result, error) { return sim.Table2(s, workloads) }
 
 // Attacks measures hammering and birthday-paradox attack costs, ±WLR.
-func Attacks(s Scale) (*AttacksResult, error) { return sim.Attacks(s) }
+func Attacks(s Scale) (*AttacksResult, error) { return runRegistered[*AttacksResult]("attacks", s) }

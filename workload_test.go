@@ -1,0 +1,88 @@
+package wlreviver
+
+import (
+	"strings"
+	"testing"
+)
+
+// drain pulls n addresses from a workload.
+func drain(t *testing.T, w Workload, n int) []uint64 {
+	t.Helper()
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = w.Next()
+	}
+	return out
+}
+
+// TestDeprecatedWrappersMatchSpec pins the compatibility contract of the
+// workload redesign: every deprecated constructor yields the exact
+// address stream of its WorkloadSpec equivalent.
+func TestDeprecatedWrappersMatchSpec(t *testing.T) {
+	const n = 2048
+	cases := []struct {
+		name    string
+		wrapped func() (Workload, error)
+		spec    WorkloadSpec
+	}{
+		{
+			"uniform",
+			func() (Workload, error) { return NewUniformWorkload(256, 7) },
+			WorkloadSpec{Kind: WorkloadUniform, Blocks: 256, Seed: 7},
+		},
+		{
+			"benchmark",
+			func() (Workload, error) { return NewBenchmarkWorkload("mg", 256, 16, 7) },
+			WorkloadSpec{Kind: "mg", Blocks: 256, PageBlocks: 16, Seed: 7},
+		},
+		{
+			"skewed",
+			func() (Workload, error) { return NewSkewedWorkload(256, 16, 4, 7) },
+			WorkloadSpec{Kind: WorkloadSkewed, Blocks: 256, PageBlocks: 16, CoV: 4, Seed: 7},
+		},
+		{
+			"hammer",
+			func() (Workload, error) { return NewHammerWorkload(256, []uint64{3, 5, 9}) },
+			WorkloadSpec{Kind: WorkloadHammer, Blocks: 256, Targets: []uint64{3, 5, 9}},
+		},
+		{
+			"birthday",
+			func() (Workload, error) { return NewBirthdayParadoxWorkload(256, 8, 100, 7) },
+			WorkloadSpec{Kind: WorkloadBirthday, Blocks: 256, SetSize: 8, Burst: 100, Seed: 7},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old, err := tc.wrapped()
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := NewWorkload(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := drain(t, old, n), drain(t, spec, n)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("streams diverge at write %d: %d vs %d", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+func TestNewWorkloadErrors(t *testing.T) {
+	if _, err := NewWorkload(WorkloadSpec{Blocks: 64}); err == nil ||
+		!strings.Contains(err.Error(), "Kind is required") {
+		t.Errorf("empty kind: %v", err)
+	}
+	_, err := NewWorkload(WorkloadSpec{Kind: "nosuch", Blocks: 64})
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	for _, want := range []string{"nosuch", WorkloadUniform, "mg"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-kind error %q should mention %q", err, want)
+		}
+	}
+}
