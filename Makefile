@@ -1,6 +1,6 @@
 # Convenience targets; scripts/verify.sh is the canonical gate.
 
-.PHONY: build test verify bench microbench paper
+.PHONY: build test verify bench microbench paper fuzz
 
 build:
 	go build ./...
@@ -27,6 +27,17 @@ bench:
 # Go-test microbenchmarks (result-shape metrics + hot-path ns/op).
 microbench:
 	go test -bench=. -benchmem -run '^$$' ./...
+
+# Brief fuzzing pass over the checkpoint wire format, the engine
+# restore path and the Start-Gap mapping algebra. Each target's seed
+# corpus lives in its package's testdata/fuzz/ and replays as part of
+# the ordinary test suite (the CI smoke run); this target additionally
+# explores new inputs for a few seconds each.
+fuzz:
+	go test ./internal/ckpt -fuzz FuzzCheckpointRoundTrip -fuzztime 10s
+	go test ./internal/ckpt -fuzz FuzzDecoderNeverPanics -fuzztime 10s
+	go test ./internal/wear -fuzz FuzzStartGapMapInverse -fuzztime 10s
+	go test ./internal/sim -fuzz FuzzRestoreRejectsCorrupt -fuzztime 10s
 
 # Regenerate the paper's tables and figures at bench scale on all CPUs.
 paper:

@@ -5,7 +5,8 @@
 //
 //	paper [-scale tiny|bench|paper] [-exp all|table1|fig5|fig6|fig7|fig8|table2|attacks]
 //	      [-seed N] [-workers N] [-cpuprofile f] [-memprofile f] [-benchjson f]
-//	      [-csv dir] [-metrics f] [-progress]
+//	      [-csv dir] [-metrics f] [-progress] [-timing=false]
+//	      [-checkpoint-every N] [-checkpoint-dir d] [-resume d] [-crash-after N]
 //	paper -benchdiff old.json new.json
 //
 // The experiment set is wlreviver.Experiments(); -exp selects one entry
@@ -17,11 +18,20 @@
 // and writes the collected event counters and snapshot series as JSON
 // (schema in EXPERIMENTS.md); -progress streams snapshot lines to stderr.
 // Neither changes the simulated results or stdout.
+//
+// -checkpoint-dir writes per-engine checkpoint files (every
+// -checkpoint-every simulated writes, and at each job's completion);
+// -resume restores them and continues, producing output byte-identical
+// to an uninterrupted run (use -timing=false for byte-stable stdout).
+// -crash-after injects a crash fault after N simulated writes across
+// the sweep and exits with code 3 — the test hook behind the resume
+// guarantee. See EXPERIMENTS.md § Checkpoint format.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +49,9 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "paper:", err)
+		if errors.Is(err, wlreviver.ErrCrashed) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -55,6 +68,11 @@ func run() error {
 	benchDiff := flag.Bool("benchdiff", false, "compare two -benchjson files given as positional arguments and exit")
 	metricsPath := flag.String("metrics", "", "observe every engine and write event counters and snapshots as JSON to this file")
 	progress := flag.Bool("progress", false, "stream per-engine snapshot lines to stderr while experiments run")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint each engine every N simulated writes (0: only at -checkpoint-dir job completion)")
+	ckptDir := flag.String("checkpoint-dir", "", "write per-engine checkpoint files into this directory")
+	resumeDir := flag.String("resume", "", "resume from the checkpoint files in this directory (implies -checkpoint-dir)")
+	crashAfter := flag.Uint64("crash-after", 0, "test hook: inject a crash after N simulated writes across the sweep (exit code 3)")
+	timing := flag.Bool("timing", true, "print per-experiment wall-clock lines (disable for byte-stable stdout)")
 	flag.Parse()
 
 	if *benchDiff {
@@ -79,6 +97,28 @@ func run() error {
 		scale.Seed = *seed
 	}
 	scale.Workers = *workers
+
+	if *resumeDir != "" {
+		if *ckptDir != "" && *ckptDir != *resumeDir {
+			return fmt.Errorf("-resume %s conflicts with -checkpoint-dir %s", *resumeDir, *ckptDir)
+		}
+		*ckptDir = *resumeDir
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint-dir: %w", err)
+		}
+		scale.Checkpoint = &wlreviver.CheckpointPlan{
+			Dir:    *ckptDir,
+			Every:  *ckptEvery,
+			Resume: *resumeDir != "",
+		}
+	} else if *ckptEvery != 0 || *crashAfter != 0 {
+		return fmt.Errorf("-checkpoint-every and -crash-after need -checkpoint-dir or -resume")
+	}
+	if *crashAfter != 0 {
+		scale.Checkpoint.ArmTotalCrash(*crashAfter)
+	}
 
 	var collector *metricsCollector
 	if *metricsPath != "" || *progress {
@@ -137,7 +177,11 @@ func run() error {
 		}
 		elapsed := time.Since(start)
 		fmt.Println(res)
-		fmt.Printf("(%s took %v)\n\n", e.Name, elapsed.Round(time.Millisecond))
+		if *timing {
+			fmt.Printf("(%s took %v)\n\n", e.Name, elapsed.Round(time.Millisecond))
+		} else {
+			fmt.Println()
+		}
 		report.add(e.Name, elapsed, totalWrites(res))
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, e.Name, res); err != nil {

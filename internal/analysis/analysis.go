@@ -86,6 +86,7 @@ type Rule interface {
 func Rules() []Rule {
 	return []Rule{
 		&ConfinedGoroutines{},
+		&NoCkptMapOrder{},
 		&NoGlobalRand{},
 		&NoWallclock{},
 		&OrderedMapOutput{},

@@ -1,0 +1,44 @@
+// Fixture: no-ckpt-map-order positives inside internal/ckpt itself —
+// every function in the wire-format package is serialization code, so
+// any map range fires regardless of sink — plus the collect-then-sort
+// exemption and a suppressed commutative fold.
+package ckpt
+
+import "sort"
+
+// Encoder is a stand-in for the real wire-format encoder.
+type Encoder struct{ buf []byte }
+
+// U64 is a stand-in field writer.
+func (e *Encoder) U64(v uint64) { e.buf = append(e.buf, byte(v)) }
+
+// WriteMap serializes a map in iteration order: the emitted bytes
+// differ run to run.
+func (e *Encoder) WriteMap(m map[uint64]uint64) {
+	for k, v := range m { // want no-ckpt-map-order "range over map in serialization code"
+		e.U64(k)
+		e.U64(v)
+	}
+}
+
+// Keys is the sanctioned shape: the collection loop is exempt because
+// the function sorts before anything reaches the image.
+func Keys(m map[uint64]uint64) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Checksum folds a map into one order-independent word; the
+// suppression reason records the commutativity argument.
+func Checksum(m map[uint64]uint64) uint64 {
+	var sum uint64
+	//lint:ignore no-ckpt-map-order XOR fold is commutative, order cannot reach the image
+	for k, v := range m {
+		sum ^= k ^ v
+	}
+	return sum
+}

@@ -1,0 +1,38 @@
+// Fixture: no-ckpt-map-order outside internal/ckpt — a function is
+// serialization code when it takes a ckpt.Encoder, whatever its name;
+// functions without one are out of scope even in the same file.
+package pcm
+
+import "wlreviver/internal/ckpt"
+
+// Device is a stand-in stateful layer with a map-typed field for the
+// selector heuristic to resolve.
+type Device struct {
+	remaps map[uint64]uint64
+}
+
+// SaveState feeds a map to the encoder in iteration order.
+func (d *Device) SaveState(e *ckpt.Encoder) {
+	for k, v := range d.remaps { // want no-ckpt-map-order "range over map in serialization code"
+		e.U64(k)
+		e.U64(v)
+	}
+}
+
+// SaveSorted is the fix: iterate the sorted key slice the ckpt helpers
+// return. Ranging a slice never fires the rule.
+func SaveSorted(e *ckpt.Encoder, m map[uint64]uint64) {
+	for _, k := range ckpt.KeysU64(m) {
+		e.U64(k)
+		e.U64(m[k])
+	}
+}
+
+// CountRemaps takes no encoder: not serialization code, out of scope.
+func (d *Device) CountRemaps() int {
+	n := 0
+	for range d.remaps {
+		n++
+	}
+	return n
+}

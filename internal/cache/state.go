@@ -1,0 +1,43 @@
+package cache
+
+import (
+	"fmt"
+
+	"wlreviver/internal/ckpt"
+)
+
+// SaveState serializes the cache's mutable state (tags, validity, LRU
+// stamps, clock and hit/miss counters) into the open checkpoint section.
+func (c *Cache) SaveState(e *ckpt.Encoder) {
+	e.U64s(c.keys)
+	e.Bools(c.valid)
+	e.U64s(c.age)
+	e.U64(c.clock)
+	e.U64(c.hits)
+	e.U64(c.misses)
+}
+
+// LoadState restores state written by SaveState into a cache built from
+// the identical Config.
+func (c *Cache) LoadState(dec *ckpt.Decoder) error {
+	keys := dec.U64s()
+	valid := dec.Bools()
+	age := dec.U64s()
+	clock := dec.U64()
+	hits := dec.U64()
+	misses := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	n := c.cfg.Sets * c.cfg.Ways
+	if len(keys) != n || len(valid) != n || len(age) != n {
+		return fmt.Errorf("cache: checkpoint entry count mismatch (cache has %d entries)", n)
+	}
+	copy(c.keys, keys)
+	copy(c.valid, valid)
+	copy(c.age, age)
+	c.clock = clock
+	c.hits = hits
+	c.misses = misses
+	return nil
+}

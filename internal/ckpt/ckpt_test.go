@@ -1,0 +1,263 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildSample writes one of every field kind across two sections.
+func buildSample() []byte {
+	e := NewEncoder()
+	e.Begin("alpha")
+	e.U8(7)
+	e.U16(0xBEEF)
+	e.U32(0xDEADBEEF)
+	e.U64(1 << 60)
+	e.I64(-42)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(3.5)
+	e.String("hello")
+	e.End()
+	e.Begin("beta")
+	e.U64s([]uint64{1, 2, 3})
+	e.U32s([]uint32{4, 5})
+	e.U16s([]uint16{6})
+	e.I32s([]int32{-7, 8})
+	e.F64s([]float64{0.25})
+	e.Bools([]bool{true, false, true})
+	e.MapU64(map[uint64]uint64{9: 90, 3: 30, 6: 60})
+	e.SetU64(map[uint64]struct{}{5: {}, 1: {}})
+	e.End()
+	return e.Finish()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := buildSample()
+	d, err := NewDecoder(data)
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	if err := d.Section("alpha"); err != nil {
+		t.Fatalf("Section alpha: %v", err)
+	}
+	if got := d.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := d.U16(); got != 0xBEEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Errorf("Bool pair wrong")
+	}
+	if got := d.F64(); got != 3.5 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if err := d.Section("beta"); err != nil {
+		t.Fatalf("Section beta: %v", err)
+	}
+	if got := d.U64s(); len(got) != 3 || got[2] != 3 {
+		t.Errorf("U64s = %v", got)
+	}
+	if got := d.U32s(); len(got) != 2 || got[1] != 5 {
+		t.Errorf("U32s = %v", got)
+	}
+	if got := d.U16s(); len(got) != 1 || got[0] != 6 {
+		t.Errorf("U16s = %v", got)
+	}
+	if got := d.I32s(); len(got) != 2 || got[0] != -7 {
+		t.Errorf("I32s = %v", got)
+	}
+	if got := d.F64s(); len(got) != 1 || got[0] != 0.25 {
+		t.Errorf("F64s = %v", got)
+	}
+	if got := d.Bools(); len(got) != 3 || !got[2] {
+		t.Errorf("Bools = %v", got)
+	}
+	m := d.MapU64()
+	if len(m) != 3 || m[6] != 60 {
+		t.Errorf("MapU64 = %v", m)
+	}
+	set := d.SetU64()
+	if _, ok := set[5]; len(set) != 2 || !ok {
+		t.Errorf("SetU64 = %v", set)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	if !bytes.Equal(buildSample(), buildSample()) {
+		t.Fatal("two encodes of the same state differ")
+	}
+}
+
+func TestRejectsBadHeader(t *testing.T) {
+	if _, err := NewDecoder(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := NewDecoder([]byte("XXXX\x01\x00\x00\x00")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	data := buildSample()
+	data[4]++ // version
+	if _, err := NewDecoder(data); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+// TestRejectsCorruption flips each byte of a valid image in turn and
+// asserts a full decode either fails with an error or (for bytes the
+// CRC does not cover, like the header we already validated) still
+// yields the original values. No flip may silently change decoded state.
+func TestRejectsCorruption(t *testing.T) {
+	orig := buildSample()
+	decodeAll := func(data []byte) (vals []uint64, err error) {
+		d, err := NewDecoder(data)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Section("alpha"); err != nil {
+			return nil, err
+		}
+		vals = append(vals, uint64(d.U8()), uint64(d.U16()), uint64(d.U32()), d.U64(), uint64(d.I64()))
+		d.Bool()
+		d.Bool()
+		d.F64()
+		_ = d.String()
+		if err := d.Section("beta"); err != nil {
+			return nil, err
+		}
+		vals = append(vals, d.U64s()...)
+		d.U32s()
+		d.U16s()
+		d.I32s()
+		d.F64s()
+		d.Bools()
+		for k, v := range d.MapU64() {
+			vals = append(vals, k, v)
+		}
+		for k := range d.SetU64() {
+			vals = append(vals, k)
+		}
+		if err := d.Close(); err != nil {
+			return nil, err
+		}
+		// Map/set iteration above is unordered; canonicalize by sum so
+		// the comparison stays deterministic.
+		var sum uint64
+		for _, v := range vals {
+			sum += v
+		}
+		return []uint64{sum}, nil
+	}
+	want, err := decodeAll(orig)
+	if err != nil {
+		t.Fatalf("decode of pristine image: %v", err)
+	}
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x40
+		got, err := decodeAll(mut)
+		if err != nil {
+			continue // rejected: good
+		}
+		if got[0] != want[0] {
+			t.Fatalf("flip at byte %d silently changed decoded state", i)
+		}
+	}
+	for cut := 0; cut < len(orig); cut++ {
+		if _, err := decodeAll(orig[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestSectionOrderEnforced(t *testing.T) {
+	d, err := NewDecoder(buildSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Section("beta"); err == nil {
+		t.Error("out-of-order section accepted")
+	}
+}
+
+func TestUnreadBytesRejected(t *testing.T) {
+	d, err := NewDecoder(buildSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Section("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	d.U8()
+	if err := d.Section("beta"); err == nil {
+		t.Error("advancing past a partially read section accepted")
+	}
+}
+
+func TestSkipRest(t *testing.T) {
+	d, err := NewDecoder(buildSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Section("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	d.SkipRest()
+	if err := d.Section("beta"); err != nil {
+		t.Errorf("Section after SkipRest: %v", err)
+	}
+}
+
+func TestAllocationGuard(t *testing.T) {
+	e := NewEncoder()
+	e.Begin("s")
+	e.U32(0xFFFFFFFF) // claims 4 billion elements with no payload behind it
+	e.End()
+	d, err := NewDecoder(e.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Section("s"); err != nil {
+		t.Fatal(err)
+	}
+	if v := d.U64s(); v != nil || d.Err() == nil {
+		t.Error("oversized count not rejected before allocation")
+	}
+}
+
+func TestMapOrderValidated(t *testing.T) {
+	e := NewEncoder()
+	e.Begin("s")
+	e.U32(2)
+	e.U64(9)
+	e.U64(1)
+	e.U64(3) // key below previous: not a sorted emission
+	e.U64(2)
+	e.End()
+	d, err := NewDecoder(e.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Section("s"); err != nil {
+		t.Fatal(err)
+	}
+	if m := d.MapU64(); m != nil || d.Err() == nil {
+		t.Error("out-of-order map keys accepted")
+	}
+}

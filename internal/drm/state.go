@@ -1,0 +1,40 @@
+package drm
+
+import "wlreviver/internal/ckpt"
+
+// SaveState serializes the protector's mutable state: the page
+// pairings, the free-frame pool (order matters — frames are taken by
+// index) and counters.
+func (d *DRM) SaveState(e *ckpt.Encoder) {
+	e.MapU64(d.partner)
+	e.U64s(d.freeFrames)
+	e.U64(d.st.SoftwareWrites)
+	e.U64(d.st.SoftwareReads)
+	e.U64(d.st.RequestAccesses)
+	e.U64(d.st.PagesPaired)
+	e.U64(d.st.Repairings)
+	e.Bool(d.st.Exposed)
+	e.U64(d.st.LostWrites)
+}
+
+// LoadState restores state written by SaveState into a protector built
+// over the identical layer stack.
+func (d *DRM) LoadState(dec *ckpt.Decoder) error {
+	partner := dec.MapU64()
+	freeFrames := dec.U64s()
+	var st Stats
+	st.SoftwareWrites = dec.U64()
+	st.SoftwareReads = dec.U64()
+	st.RequestAccesses = dec.U64()
+	st.PagesPaired = dec.U64()
+	st.Repairings = dec.U64()
+	st.Exposed = dec.Bool()
+	st.LostWrites = dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	d.partner = partner
+	d.freeFrames = freeFrames
+	d.st = st
+	return nil
+}

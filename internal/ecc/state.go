@@ -1,0 +1,83 @@
+package ecc
+
+import (
+	"fmt"
+
+	"wlreviver/internal/ckpt"
+)
+
+// SaveState serializes ECP's per-block correction usage and dead flags.
+func (e *ECP) SaveState(enc *ckpt.Encoder) {
+	enc.U16s(e.used)
+	enc.Bools(e.deadFlag)
+}
+
+// LoadState restores state written by SaveState into a scheme built for
+// the identical device geometry.
+func (e *ECP) LoadState(dec *ckpt.Decoder) error {
+	used := dec.U16s()
+	deadFlag := dec.Bools()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(used) != len(e.used) || len(deadFlag) != len(e.deadFlag) {
+		return fmt.Errorf("ecc: ECP checkpoint block count mismatch")
+	}
+	copy(e.used, used)
+	copy(e.deadFlag, deadFlag)
+	return nil
+}
+
+// SaveState serializes PAYG's local usage, pool occupancy and dead flags.
+func (p *PAYG) SaveState(enc *ckpt.Encoder) {
+	enc.U16s(p.localUsed)
+	enc.I32s(p.setFree)
+	enc.I64(p.overflow)
+	enc.Bools(p.deadFlag)
+	enc.U64(p.pooledUsed)
+}
+
+// LoadState restores state written by SaveState into a scheme built for
+// the identical device geometry.
+func (p *PAYG) LoadState(dec *ckpt.Decoder) error {
+	localUsed := dec.U16s()
+	setFree := dec.I32s()
+	overflow := dec.I64()
+	deadFlag := dec.Bools()
+	pooledUsed := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(localUsed) != len(p.localUsed) || len(setFree) != len(p.setFree) ||
+		len(deadFlag) != len(p.deadFlag) {
+		return fmt.Errorf("ecc: PAYG checkpoint geometry mismatch")
+	}
+	copy(p.localUsed, localUsed)
+	copy(p.setFree, setFree)
+	p.overflow = overflow
+	copy(p.deadFlag, deadFlag)
+	p.pooledUsed = pooledUsed
+	return nil
+}
+
+// SaveState serializes SAFER's per-block stuck-cell usage and dead flags.
+func (s *SAFER) SaveState(enc *ckpt.Encoder) {
+	enc.U16s(s.used)
+	enc.Bools(s.deadFlag)
+}
+
+// LoadState restores state written by SaveState into a scheme built for
+// the identical device geometry.
+func (s *SAFER) LoadState(dec *ckpt.Decoder) error {
+	used := dec.U16s()
+	deadFlag := dec.Bools()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(used) != len(s.used) || len(deadFlag) != len(s.deadFlag) {
+		return fmt.Errorf("ecc: SAFER checkpoint block count mismatch")
+	}
+	copy(s.used, used)
+	copy(s.deadFlag, deadFlag)
+	return nil
+}

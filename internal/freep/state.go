@@ -1,0 +1,70 @@
+package freep
+
+import (
+	"fmt"
+
+	"wlreviver/internal/ckpt"
+)
+
+// SaveState serializes the protector's mutable state: the free-slot
+// pool, failed-block remaps, Zombie pair baselines and counters.
+func (f *FREEp) SaveState(e *ckpt.Encoder) {
+	e.U64s(f.slots)
+	e.MapU64(f.remap)
+	e.U32(uint32(len(f.pairBase)))
+	for _, slot := range ckpt.KeysU64(f.pairBase) {
+		e.U64(slot)
+		e.I64(int64(f.pairBase[slot]))
+	}
+	e.U64(f.st.SoftwareWrites)
+	e.U64(f.st.SoftwareReads)
+	e.U64(f.st.RequestAccesses)
+	e.U64(f.st.SlotsUsed)
+	e.Bool(f.st.Exposed)
+	e.U64(f.st.LostWrites)
+	e.U64(f.st.PairRevivals)
+}
+
+// LoadState restores state written by SaveState into a protector built
+// over the identical layer stack.
+func (f *FREEp) LoadState(dec *ckpt.Decoder) error {
+	slots := dec.U64s()
+	remap := dec.MapU64()
+	nPairs := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if nPairs*16 > 1<<30 {
+		return fmt.Errorf("freep: checkpoint pair count %d implausible", nPairs)
+	}
+	pairBase := make(map[uint64]int, nPairs)
+	var prev uint64
+	for i := 0; i < nPairs; i++ {
+		slot := dec.U64()
+		base := dec.I64()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if i > 0 && slot <= prev {
+			return fmt.Errorf("freep: checkpoint pair keys out of order")
+		}
+		prev = slot
+		pairBase[slot] = int(base)
+	}
+	var st Stats
+	st.SoftwareWrites = dec.U64()
+	st.SoftwareReads = dec.U64()
+	st.RequestAccesses = dec.U64()
+	st.SlotsUsed = dec.U64()
+	st.Exposed = dec.Bool()
+	st.LostWrites = dec.U64()
+	st.PairRevivals = dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	f.slots = slots
+	f.remap = remap
+	f.pairBase = pairBase
+	f.st = st
+	return nil
+}

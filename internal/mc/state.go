@@ -1,0 +1,32 @@
+package mc
+
+import "wlreviver/internal/ckpt"
+
+// SaveState serializes the baseline protector's counters and crippled
+// flag. The Backend itself is stateless (its device and ECC scheme are
+// checkpointed separately).
+func (p *Passthrough) SaveState(e *ckpt.Encoder) {
+	e.Bool(p.crippled)
+	e.U64(p.requests)
+	e.U64(p.reqAccesses)
+	e.U64(p.lostWrites)
+	e.U64(p.firstFailure)
+}
+
+// LoadState restores state written by SaveState.
+func (p *Passthrough) LoadState(dec *ckpt.Decoder) error {
+	crippled := dec.Bool()
+	requests := dec.U64()
+	reqAccesses := dec.U64()
+	lostWrites := dec.U64()
+	firstFailure := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	p.crippled = crippled
+	p.requests = requests
+	p.reqAccesses = reqAccesses
+	p.lostWrites = lostWrites
+	p.firstFailure = firstFailure
+	return nil
+}

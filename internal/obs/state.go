@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+
+	"wlreviver/internal/ckpt"
+)
+
+// SaveState serializes the accumulator: counters (sorted by name), the
+// snapshot series and the wear-at-death samples.
+func (m *Metrics) SaveState(e *ckpt.Encoder) {
+	names := ckpt.KeysString(m.counters)
+	e.U32(uint32(len(names)))
+	for _, name := range names {
+		e.String(name)
+		e.U64(m.counters[name])
+	}
+	e.U32(uint32(len(m.snapshots)))
+	for _, s := range m.snapshots {
+		e.U64(s.Writes)
+		e.F64(s.WritesPerBlock)
+		e.F64(s.SurvivalRate)
+		e.F64(s.UsableFraction)
+		e.U64(s.DeadBlocks)
+		e.U64(s.RetiredPages)
+		e.I64(int64(s.LiveRemaps))
+		e.I64(int64(s.SparePAs))
+		e.U64(s.LevelerOps)
+		e.U64(s.CacheHits)
+		e.U64(s.CacheMisses)
+		e.F64(s.AccessRatio)
+		e.F64(s.WearCoV)
+	}
+	e.F64s(m.deathWear)
+}
+
+// LoadState restores state written by SaveState, replacing the
+// accumulator's contents.
+func (m *Metrics) LoadState(dec *ckpt.Decoder) error {
+	nCounters := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if nCounters > 1<<20 {
+		return fmt.Errorf("obs: checkpoint counter count %d implausible", nCounters)
+	}
+	counters := make(map[string]uint64, nCounters)
+	prev := ""
+	for i := 0; i < nCounters; i++ {
+		name := dec.String()
+		v := dec.U64()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if i > 0 && name <= prev {
+			return fmt.Errorf("obs: checkpoint counters out of order")
+		}
+		prev = name
+		counters[name] = v
+	}
+	nSnaps := int(dec.U32())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if nSnaps*96 > 1<<32 { // each snapshot is 96 payload bytes
+		return fmt.Errorf("obs: checkpoint snapshot count %d implausible", nSnaps)
+	}
+	snapshots := make([]Snapshot, nSnaps)
+	for i := range snapshots {
+		snapshots[i] = Snapshot{
+			Writes:         dec.U64(),
+			WritesPerBlock: dec.F64(),
+			SurvivalRate:   dec.F64(),
+			UsableFraction: dec.F64(),
+			DeadBlocks:     dec.U64(),
+			RetiredPages:   dec.U64(),
+			LiveRemaps:     int(dec.I64()),
+			SparePAs:       int(dec.I64()),
+			LevelerOps:     dec.U64(),
+			CacheHits:      dec.U64(),
+			CacheMisses:    dec.U64(),
+			AccessRatio:    dec.F64(),
+			WearCoV:        dec.F64(),
+		}
+	}
+	deathWear := dec.F64s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	m.counters = counters
+	m.snapshots = snapshots
+	m.deathWear = deathWear
+	return nil
+}

@@ -1,0 +1,54 @@
+package osmodel
+
+import (
+	"fmt"
+
+	"wlreviver/internal/ckpt"
+)
+
+// SaveState serializes the model's mutable state — the exact page table,
+// retirement bitmap and donor cursor — into the open checkpoint section.
+// Unlike Bitmap/LoadBitmap (which model a reboot and re-derive donor
+// assignments), this is a faithful capture: restoring reproduces the
+// identical virtual→physical mapping.
+func (m *Model) SaveState(e *ckpt.Encoder) {
+	e.U32s(m.virtToPhys)
+	e.Bools(m.retired)
+	e.U64(m.retiredCnt)
+	e.U64(m.donorCur)
+}
+
+// LoadState restores state written by SaveState into a model built with
+// identical geometry.
+func (m *Model) LoadState(dec *ckpt.Decoder) error {
+	virtToPhys := dec.U32s()
+	retired := dec.Bools()
+	retiredCnt := dec.U64()
+	donorCur := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if uint64(len(virtToPhys)) != m.numPages || uint64(len(retired)) != m.numPages {
+		return fmt.Errorf("osmodel: checkpoint page count mismatch (model has %d pages)", m.numPages)
+	}
+	var recount uint64
+	for p, r := range retired {
+		if r {
+			recount++
+		}
+		if uint64(virtToPhys[p]) >= m.numPages {
+			return fmt.Errorf("osmodel: checkpoint page table entry %d out of range", p)
+		}
+	}
+	if recount != retiredCnt {
+		return fmt.Errorf("osmodel: checkpoint retired count %d disagrees with bitmap (%d)", retiredCnt, recount)
+	}
+	if donorCur >= m.numPages {
+		return fmt.Errorf("osmodel: checkpoint donor cursor %d out of range", donorCur)
+	}
+	copy(m.virtToPhys, virtToPhys)
+	copy(m.retired, retired)
+	m.retiredCnt = retiredCnt
+	m.donorCur = donorCur
+	return nil
+}

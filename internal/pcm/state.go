@@ -1,0 +1,86 @@
+package pcm
+
+import (
+	"fmt"
+
+	"wlreviver/internal/ckpt"
+)
+
+// SaveState serializes the device's mutable state (wear counters, failure
+// schedule position, dead marks, access stats, and the failure-horizon
+// countdown) into the open checkpoint section. Configuration and the
+// derived sigma are not written; Restore rebuilds the device from the
+// same Config and overlays this state.
+func (d *Device) SaveState(e *ckpt.Encoder) {
+	e.U64s(d.wear)
+	e.U64s(d.nextFail)
+	e.U16s(d.failedCells)
+	e.F64s(d.orderU)
+	e.Bools(d.dead)
+	e.Bool(d.content != nil)
+	if d.content != nil {
+		e.U64s(d.content)
+	}
+	e.U64(d.stats.Reads)
+	e.U64(d.stats.Writes)
+	e.U64(d.deadCount)
+	e.U64(d.horizon)
+	e.U64(d.rescanIn)
+}
+
+// LoadState restores state written by SaveState into a device freshly
+// built from the identical Config. Slice lengths and the content-tracking
+// flag must match the construction geometry.
+func (d *Device) LoadState(dec *ckpt.Decoder) error {
+	wear := dec.U64s()
+	nextFail := dec.U64s()
+	failedCells := dec.U16s()
+	orderU := dec.F64s()
+	dead := dec.Bools()
+	hasContent := dec.Bool()
+	var content []uint64
+	if hasContent {
+		content = dec.U64s()
+	}
+	reads := dec.U64()
+	writes := dec.U64()
+	deadCount := dec.U64()
+	horizon := dec.U64()
+	rescanIn := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	n := int(d.cfg.NumBlocks)
+	if len(wear) != n || len(nextFail) != n || len(failedCells) != n ||
+		len(orderU) != n || len(dead) != n {
+		return fmt.Errorf("pcm: checkpoint block count mismatch (device has %d blocks)", n)
+	}
+	if hasContent != (d.content != nil) {
+		return fmt.Errorf("pcm: checkpoint TrackContent=%v, device has %v", hasContent, d.content != nil)
+	}
+	if hasContent && len(content) != n {
+		return fmt.Errorf("pcm: checkpoint content tag count mismatch")
+	}
+	var recount uint64
+	for _, dd := range dead {
+		if dd {
+			recount++
+		}
+	}
+	if recount != deadCount {
+		return fmt.Errorf("pcm: checkpoint dead count %d disagrees with bitmap (%d)", deadCount, recount)
+	}
+	copy(d.wear, wear)
+	copy(d.nextFail, nextFail)
+	copy(d.failedCells, failedCells)
+	copy(d.orderU, orderU)
+	copy(d.dead, dead)
+	if hasContent {
+		copy(d.content, content)
+	}
+	d.stats = AccessStats{Reads: reads, Writes: writes}
+	d.deadCount = deadCount
+	d.horizon = horizon
+	d.rescanIn = rescanIn
+	return nil
+}

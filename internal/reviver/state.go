@@ -1,0 +1,125 @@
+package reviver
+
+import (
+	"fmt"
+
+	"wlreviver/internal/ckpt"
+)
+
+// SaveState serializes the framework's mutable state: remap links,
+// pointer-slot assignments, the spare pool, suspended deliveries and
+// activity counters. The inverse link map is derived from ptr and is
+// rebuilt on load. Unlike Snapshot (the in-PCM reboot image, which
+// refuses pending operations), this is a faithful mid-run capture.
+func (r *Reviver) SaveState(e *ckpt.Encoder) {
+	e.MapU64(r.ptr)
+	e.MapU64(r.ptrSlot)
+	e.U64s(r.avail)
+	e.U32(uint32(len(r.pending)))
+	for _, p := range r.pending {
+		e.U64(p.entry)
+		e.U64(p.tag)
+		e.Bool(p.has)
+		e.U64(p.headPA)
+		e.Bool(p.hasHead)
+	}
+	e.U32(uint32(len(r.pendVals)))
+	for _, entry := range ckpt.KeysU64(r.pendVals) {
+		v := r.pendVals[entry]
+		e.U64(entry)
+		e.U64(v.tag)
+		e.Bool(v.has)
+	}
+	e.SetU64(r.orphans)
+	e.U64(r.lastWritePA)
+	e.Bool(r.lastWriteOK)
+	e.U64(r.st.SoftwareWrites)
+	e.U64(r.st.SoftwareReads)
+	e.U64(r.st.RequestAccesses)
+	e.U64(r.st.MaintenanceAccesses)
+	e.U64(r.st.PagesAcquired)
+	e.U64(r.st.SacrificedWrites)
+	e.U64(r.st.LinksCreated)
+	e.U64(r.st.ChainSwitches)
+	e.U64(r.st.Suspensions)
+	e.U64(r.st.RelocationsDropped)
+}
+
+// LoadState restores state written by SaveState into a framework built
+// over the identical layer stack.
+func (r *Reviver) LoadState(dec *ckpt.Decoder) error {
+	ptr := dec.MapU64()
+	ptrSlot := dec.MapU64()
+	avail := dec.U64s()
+	nPend := int(dec.U32())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if nPend*18 > 1<<30 { // each pending op is 18 payload bytes
+		return fmt.Errorf("reviver: checkpoint pending count %d implausible", nPend)
+	}
+	pending := make([]pendingOp, nPend)
+	for i := range pending {
+		pending[i] = pendingOp{
+			entry:   dec.U64(),
+			tag:     dec.U64(),
+			has:     dec.Bool(),
+			headPA:  dec.U64(),
+			hasHead: dec.Bool(),
+		}
+	}
+	nVals := int(dec.U32())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	pendVals := make(map[uint64]pendingVal, nVals)
+	var prevEntry uint64
+	for i := 0; i < nVals; i++ {
+		entry := dec.U64()
+		v := pendingVal{tag: dec.U64(), has: dec.Bool()}
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if i > 0 && entry <= prevEntry {
+			return fmt.Errorf("reviver: checkpoint pending values out of order")
+		}
+		prevEntry = entry
+		pendVals[entry] = v
+	}
+	orphans := dec.SetU64()
+	lastWritePA := dec.U64()
+	lastWriteOK := dec.Bool()
+	var st Stats
+	st.SoftwareWrites = dec.U64()
+	st.SoftwareReads = dec.U64()
+	st.RequestAccesses = dec.U64()
+	st.MaintenanceAccesses = dec.U64()
+	st.PagesAcquired = dec.U64()
+	st.SacrificedWrites = dec.U64()
+	st.LinksCreated = dec.U64()
+	st.ChainSwitches = dec.U64()
+	st.Suspensions = dec.U64()
+	st.RelocationsDropped = dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	inv := make(map[uint64]uint64, len(ptr))
+	for _, da := range ckpt.KeysU64(ptr) {
+		pa := ptr[da]
+		if other, dup := inv[pa]; dup {
+			return fmt.Errorf("reviver: checkpoint links DAs %d and %d to the same shadow PA %d", other, da, pa)
+		}
+		inv[pa] = da
+	}
+	r.ptr = ptr
+	r.inv = inv
+	r.ptrSlot = ptrSlot
+	r.avail = avail
+	r.pending = pending
+	r.pendVals = pendVals
+	r.orphans = orphans
+	r.lastWritePA = lastWritePA
+	r.lastWriteOK = lastWriteOK
+	r.st = st
+	return nil
+}

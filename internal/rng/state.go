@@ -1,0 +1,17 @@
+package rng
+
+// State returns the generator's internal state words, for checkpointing.
+// Restoring them with SetState reproduces the exact output stream from
+// this point.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with words captured
+// by State. An all-zero state is invalid for xoshiro256** and is coerced
+// to the same fallback New uses, so a corrupt checkpoint cannot wedge
+// the generator.
+func (r *Source) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9E3779B97F4A7C15
+	}
+	r.s = s
+}

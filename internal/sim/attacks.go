@@ -77,7 +77,10 @@ func Attacks(s Scale) (*AttacksResult, error) {
 					if err != nil {
 						return AttackRow{}, 0, err
 					}
-					curve := runCurve(e, atk.name, usable, 0.70, s.maxWrites())
+					curve, err := runCurve(e, s.Checkpoint.driver(key), atk.name, usable, 0.70, s.maxWrites())
+					if err != nil {
+						return AttackRow{}, 0, err
+					}
 					return AttackRow{
 						Attack:      atk.name,
 						Scheme:      scheme,

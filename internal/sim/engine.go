@@ -242,6 +242,12 @@ type Engine struct {
 	writes  uint64
 	stopped bool
 
+	// Crash-fault injection (checkpoint.go): crashAt is an absolute
+	// write threshold (0 = disarmed); Run clamps each batch to it so the
+	// hot loop carries no extra per-write check.
+	crashAt uint64
+	crashed bool
+
 	// Observation state: snapEvery is 0 when no observer is attached, so
 	// the hot path's snapshot check is a single always-false compare.
 	observer   obs.Observer
@@ -542,6 +548,10 @@ func (e *Engine) Step() bool {
 	if e.stopped {
 		return false
 	}
+	if e.crashAt != 0 && e.writes >= e.crashAt {
+		e.crashed = true
+		return false
+	}
 	return e.writeTagged(e.nextAddr(), e.writes)
 }
 
@@ -555,12 +565,29 @@ func (e *Engine) Step() bool {
 // write is terminal), and the batch must halt there exactly as a
 // Step-driven loop would.
 func (e *Engine) Run(n uint64, onWrite func(done uint64)) uint64 {
+	crashing := false
+	if e.crashAt != 0 {
+		if e.crashed {
+			return 0
+		}
+		if e.writes >= e.crashAt {
+			e.crashed = true
+			return 0
+		}
+		if left := e.crashAt - e.writes; n >= left {
+			n = left
+			crashing = true
+		}
+	}
 	var done uint64
 	for done < n && !e.stopped && e.writeTagged(e.nextAddr(), e.writes) {
 		done++
 		if onWrite != nil {
 			onWrite(done)
 		}
+	}
+	if crashing && done == n {
+		e.crashed = true
 	}
 	return done
 }

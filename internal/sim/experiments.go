@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"wlreviver/internal/ckpt"
 	"wlreviver/internal/freep"
 	"wlreviver/internal/lls"
 	"wlreviver/internal/mc"
@@ -48,6 +49,11 @@ type Scale struct {
 	// SnapshotEvery is the per-engine snapshot period in simulated writes
 	// (0: one snapshot per Blocks writes). Only meaningful with Observe.
 	SnapshotEvery uint64
+	// Checkpoint, when non-nil, coordinates per-job checkpointing, resume
+	// and crash injection across the sweep (see CheckpointPlan). A run
+	// resumed from any checkpoint is byte-identical to an uninterrupted
+	// run; with Checkpoint nil the runners take no extra branches.
+	Checkpoint *CheckpointPlan
 }
 
 // TinyScale is for unit tests: a 64 KiB chip.
@@ -130,26 +136,65 @@ const checkEvery = 1 << 10
 // runs out, sampling (writes/block, metric) along the way. The inner
 // batch is clamped to the remaining budget, so curves end exactly at
 // maxWrites at every scale (not up to checkEvery-1 writes past it).
-func runCurve(e *Engine, name string, metric func(*Engine) float64, floor float64, maxWrites uint64) stats.Curve {
+//
+// d (nil when checkpointing is off) restores the engine and curve from
+// the job's checkpoint, checkpoints at batch ends — never mid-batch, so
+// a resumed run replays the identical batch and sample sequence — and
+// injects crash faults, surfacing them as ErrCrashed.
+func runCurve(e *Engine, d *ckptDriver, name string, metric func(*Engine) float64, floor float64, maxWrites uint64) (stats.Curve, error) {
 	curve := stats.Curve{Name: name}
-	curve.Append(0, metric(e))
+	done := false
+	if d != nil {
+		err := d.restore(e, func(dec *ckpt.Decoder) error {
+			var herr error
+			done, herr = loadCurveHarness(dec, name, &curve)
+			return herr
+		})
+		if err != nil {
+			return stats.Curve{}, err
+		}
+		if done {
+			return curve, nil
+		}
+		d.arm(e)
+	}
+	if len(curve.Points) == 0 {
+		curve.Append(0, metric(e))
+	}
 	for e.Writes() < maxWrites {
 		batch := maxWrites - e.Writes()
 		if batch > checkEvery {
 			batch = checkEvery
 		}
-		done := e.RunN(batch)
+		allowed, crashNow := d.clampBatch(batch)
+		if allowed < batch {
+			e.RunN(allowed)
+			return stats.Curve{}, ErrCrashed
+		}
+		ran := e.RunN(batch)
+		if crashNow || e.Crashed() {
+			return stats.Curve{}, ErrCrashed
+		}
 		m := metric(e)
 		curve.Append(e.WritesPerBlock(), m)
-		if done < batch || m <= floor {
+		stop := ran < batch || m <= floor
+		final := stop || e.Writes() >= maxWrites
+		if err := d.afterBatch(e, final, func(enc *ckpt.Encoder) {
+			saveCurveHarness(enc, &curve, final)
+		}); err != nil {
+			return stats.Curve{}, err
+		}
+		if stop {
 			break
 		}
 	}
-	return curve
+	return curve, nil
 }
 
-// curveJob wraps one engine build + runCurve drive as a runner job.
-func curveJob(name string, build func() (*Engine, error), metric func(*Engine) float64, floor float64, maxWrites uint64) Job[stats.Curve] {
+// curveJob wraps one engine build + runCurve drive as a runner job. key
+// is the job's stable qualified identity (observer and checkpoint key);
+// name labels the resulting curve.
+func curveJob(s Scale, key, name string, build func() (*Engine, error), metric func(*Engine) float64, floor float64, maxWrites uint64) Job[stats.Curve] {
 	return Job[stats.Curve]{
 		Name: name,
 		Run: func() (stats.Curve, uint64, error) {
@@ -157,7 +202,10 @@ func curveJob(name string, build func() (*Engine, error), metric func(*Engine) f
 			if err != nil {
 				return stats.Curve{}, 0, err
 			}
-			c := runCurve(e, name, metric, floor, maxWrites)
+			c, err := runCurve(e, s.Checkpoint.driver(key), name, metric, floor, maxWrites)
+			if err != nil {
+				return stats.Curve{}, 0, err
+			}
 			return c, e.Writes(), nil
 		},
 	}
@@ -284,7 +332,10 @@ func Fig5(s Scale) (*Fig5Result, error) {
 					if err != nil {
 						return 0, 0, err
 					}
-					curve := runCurve(e, spec.Name, survival, 0.70, s.maxWrites())
+					curve, err := runCurve(e, s.Checkpoint.driver(key), spec.Name, survival, 0.70, s.maxWrites())
+					if err != nil {
+						return 0, 0, err
+					}
 					return curve.Points[len(curve.Points)-1].X, e.Writes(), nil
 				},
 			})
@@ -359,14 +410,15 @@ func Fig6(s Scale, workload string) (*Fig6Result, error) {
 	}
 	jobs := make([]Job[stats.Curve], 0, len(variants))
 	for _, v := range variants {
-		jobs = append(jobs, curveJob(v.name, func() (*Engine, error) {
+		// Curve names repeat across figures, so the observer/checkpoint
+		// key is qualified with the experiment and workload.
+		key := "fig6/" + workload + "/" + v.name
+		jobs = append(jobs, curveJob(s, key, v.name, func() (*Engine, error) {
 			gen, err := s.benchmarkGen(workload)
 			if err != nil {
 				return nil, err
 			}
-			// Curve names repeat across figures, so the observer key is
-			// qualified with the experiment and workload.
-			cfg := s.engineConfig("fig6/" + workload + "/" + v.name)
+			cfg := s.engineConfig(key)
 			cfg.ECC = v.ecc
 			cfg.Leveler = v.level
 			cfg.Protector = v.prot
@@ -419,12 +471,13 @@ func Fig7(s Scale, workload string) (*Fig7Result, error) {
 	}
 	jobs := make([]Job[stats.Curve], 0, len(arms))
 	for _, a := range arms {
-		jobs = append(jobs, curveJob(a.name, func() (*Engine, error) {
+		key := "fig7/" + workload + "/" + a.name
+		jobs = append(jobs, curveJob(s, key, a.name, func() (*Engine, error) {
 			gen, err := s.benchmarkGen(workload)
 			if err != nil {
 				return nil, err
 			}
-			cfg := s.engineConfig("fig7/" + workload + "/" + a.name)
+			cfg := s.engineConfig(key)
 			cfg.Protector = a.prot
 			cfg.FreepReserveFraction = a.reserve
 			return NewEngine(cfg, gen)
@@ -468,12 +521,13 @@ func Fig8(s Scale, workload string) (*Fig8Result, error) {
 	}{{"WL-Reviver", ProtectorWLReviver}, {"LLS", ProtectorLLS}}
 	jobs := make([]Job[stats.Curve], 0, len(arms))
 	for _, a := range arms {
-		jobs = append(jobs, curveJob(a.name, func() (*Engine, error) {
+		key := "fig8/" + workload + "/" + a.name
+		jobs = append(jobs, curveJob(s, key, a.name, func() (*Engine, error) {
 			gen, err := s.benchmarkGen(workload)
 			if err != nil {
 				return nil, err
 			}
-			cfg := s.engineConfig("fig8/" + workload + "/" + a.name)
+			cfg := s.engineConfig(key)
 			cfg.Protector = a.prot
 			return NewEngine(cfg, gen)
 		}, usable, 0.50, s.maxWrites()))
@@ -534,6 +588,59 @@ func requestCounts(p mc.Protector) (uint64, uint64) {
 	return 0, 0
 }
 
+// table2Harness is the table2Run driver-state stored alongside the
+// engine in each checkpoint: cells produced so far, the access-time
+// deltas' baseline and the index of the ratio in progress.
+type table2Harness struct {
+	cells    []Table2Cell
+	prevReq  uint64
+	prevAcc  uint64
+	ratioIdx uint64
+	done     bool
+}
+
+func (h *table2Harness) save(enc *ckpt.Encoder) {
+	enc.Bool(h.done)
+	enc.U64(h.prevReq)
+	enc.U64(h.prevAcc)
+	enc.U64(h.ratioIdx)
+	enc.U32(uint32(len(h.cells)))
+	for _, c := range h.cells {
+		enc.F64(c.FailureRatio)
+		enc.String(c.Scheme)
+		enc.String(c.Workload)
+		enc.F64(c.AccessTime)
+		enc.F64(c.UsableSpacePct)
+		enc.Bool(c.Reached)
+	}
+}
+
+func (h *table2Harness) load(dec *ckpt.Decoder) error {
+	done := dec.Bool()
+	prevReq := dec.U64()
+	prevAcc := dec.U64()
+	ratioIdx := dec.U64()
+	n := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n > 1<<16 {
+		return fmt.Errorf("sim: checkpoint cell count %d implausible", n)
+	}
+	cells := make([]Table2Cell, n)
+	for i := range cells {
+		cells[i] = Table2Cell{
+			FailureRatio: dec.F64(), Scheme: dec.String(), Workload: dec.String(),
+			AccessTime: dec.F64(), UsableSpacePct: dec.F64(), Reached: dec.Bool(),
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	h.done, h.prevReq, h.prevAcc, h.ratioIdx, h.cells = done, prevReq, prevAcc, ratioIdx, cells
+	return nil
+}
+
 // table2Run drives one (scheme, workload) engine through the failure-
 // ratio ladder, one cell per threshold reached.
 func table2Run(s Scale, scheme string, prot ProtectorKind, workload string) ([]Table2Cell, uint64, error) {
@@ -542,24 +649,52 @@ func table2Run(s Scale, scheme string, prot ProtectorKind, workload string) ([]T
 	if err != nil {
 		return nil, 0, err
 	}
-	cfg := s.engineConfig("table2/" + scheme + "/" + workload)
+	key := "table2/" + scheme + "/" + workload
+	cfg := s.engineConfig(key)
 	cfg.Protector = prot
 	cfg.CacheKB = 32
 	e, err := NewEngine(cfg, gen)
 	if err != nil {
 		return nil, 0, err
 	}
-	var cells []Table2Cell
-	var prevReq, prevAcc uint64
+	d := s.Checkpoint.driver(key)
+	var h table2Harness
+	if d != nil {
+		if err := d.restore(e, h.load); err != nil {
+			return nil, 0, err
+		}
+		if h.done {
+			return h.cells, e.Writes(), nil
+		}
+		d.arm(e)
+	}
 	budget := s.maxWrites()
-	for _, ratio := range ratios {
+	for i := h.ratioIdx; i < uint64(len(ratios)); i++ {
+		ratio := ratios[i]
+		h.ratioIdx = i
 		reached := true
 		for float64(e.Device().DeadBlocks())/float64(e.Device().NumBlocks()) < ratio {
 			batch := budget - e.Writes()
 			if batch > checkEvery {
 				batch = checkEvery
 			}
-			if batch == 0 || e.RunN(batch) == 0 {
+			if batch == 0 {
+				reached = false
+				break
+			}
+			allowed, crashNow := d.clampBatch(batch)
+			if allowed < batch {
+				e.RunN(allowed)
+				return nil, 0, ErrCrashed
+			}
+			ran := e.RunN(batch)
+			if crashNow || e.Crashed() {
+				return nil, 0, ErrCrashed
+			}
+			if err := d.afterBatch(e, false, h.save); err != nil {
+				return nil, 0, err
+			}
+			if ran == 0 {
 				reached = false
 				break
 			}
@@ -569,16 +704,21 @@ func table2Run(s Scale, scheme string, prot ProtectorKind, workload string) ([]T
 			FailureRatio: ratio, Scheme: scheme, Workload: workload,
 			UsableSpacePct: 100 * e.UsableFraction(), Reached: reached,
 		}
-		if req > prevReq {
-			cell.AccessTime = float64(acc-prevAcc) / float64(req-prevReq)
+		if req > h.prevReq {
+			cell.AccessTime = float64(acc-h.prevAcc) / float64(req-h.prevReq)
 		}
-		prevReq, prevAcc = req, acc
-		cells = append(cells, cell)
+		h.prevReq, h.prevAcc = req, acc
+		h.cells = append(h.cells, cell)
+		h.ratioIdx = i + 1
 		if !reached {
 			break
 		}
 	}
-	return cells, e.Writes(), nil
+	h.done = true
+	if err := d.afterBatch(e, true, h.save); err != nil {
+		return nil, 0, err
+	}
+	return h.cells, e.Writes(), nil
 }
 
 // Table2 measures average access time (32 KB remap cache) and software-

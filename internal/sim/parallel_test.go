@@ -84,7 +84,9 @@ func TestRunCurveRespectsBudgetExactly(t *testing.T) {
 		t.Fatal(err)
 	}
 	budget := uint64(checkEvery*3 + 137) // deliberately off the batch grid
-	runCurve(e, "clamp", survival, 0, budget)
+	if _, err := runCurve(e, nil, "clamp", survival, 0, budget); err != nil {
+		t.Fatal(err)
+	}
 	if e.Writes() != budget {
 		t.Errorf("engine serviced %d writes, budget was %d", e.Writes(), budget)
 	}

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"fmt"
+
+	"wlreviver/internal/ckpt"
+)
+
+// SaveState serializes the curve: name, then the points in order.
+func (c *Curve) SaveState(e *ckpt.Encoder) {
+	e.String(c.Name)
+	e.U32(uint32(len(c.Points)))
+	for _, p := range c.Points {
+		e.F64(p.X)
+		e.F64(p.Y)
+	}
+}
+
+// LoadState restores a curve written by SaveState, replacing the
+// receiver's contents.
+func (c *Curve) LoadState(dec *ckpt.Decoder) error {
+	name := dec.String()
+	n := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n*16 > 1<<32 { // each point is 16 payload bytes
+		return fmt.Errorf("stats: checkpoint point count %d implausible", n)
+	}
+	points := make([]Point, n)
+	for i := range points {
+		points[i] = Point{X: dec.F64(), Y: dec.F64()}
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	c.Name = name
+	c.Points = points
+	return nil
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"fmt"
+
+	"wlreviver/internal/ckpt"
+)
+
+// saveSource writes one rng.Source's four state words.
+func saveSource(e *ckpt.Encoder, s [4]uint64) {
+	for _, w := range s {
+		e.U64(w)
+	}
+}
+
+// loadSource reads four state words written by saveSource.
+func loadSource(dec *ckpt.Decoder) [4]uint64 {
+	var s [4]uint64
+	for i := range s {
+		s[i] = dec.U64()
+	}
+	return s
+}
+
+// SaveState serializes the workload's stream position: the sampling RNG
+// and the alias sampler's RNG. The weight field and alias tables are
+// deterministic functions of the configuration and are rebuilt on
+// construction.
+func (w *Weighted) SaveState(e *ckpt.Encoder) {
+	saveSource(e, w.src.State())
+	saveSource(e, w.alias.src.State())
+}
+
+// LoadState restores state written by SaveState into a workload built
+// from the identical configuration.
+func (w *Weighted) LoadState(dec *ckpt.Decoder) error {
+	src := loadSource(dec)
+	asrc := loadSource(dec)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	w.src.SetState(src)
+	w.alias.src.SetState(asrc)
+	return nil
+}
+
+// SaveState serializes the uniform workload's RNG position.
+func (u *Uniform) SaveState(e *ckpt.Encoder) {
+	saveSource(e, u.src.State())
+}
+
+// LoadState restores state written by SaveState.
+func (u *Uniform) LoadState(dec *ckpt.Decoder) error {
+	src := loadSource(dec)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	u.src.SetState(src)
+	return nil
+}
+
+// SaveState serializes the hammer's round-robin cursor.
+func (h *Hammer) SaveState(e *ckpt.Encoder) {
+	e.I64(int64(h.pos))
+}
+
+// LoadState restores state written by SaveState.
+func (h *Hammer) LoadState(dec *ckpt.Decoder) error {
+	pos := dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if pos < 0 || pos >= int64(len(h.addrs)) {
+		return fmt.Errorf("trace: hammer checkpoint cursor %d out of range", pos)
+	}
+	h.pos = int(pos)
+	return nil
+}
+
+// SaveState serializes the attack's RNG, current address set and
+// position within the burst.
+func (b *BirthdayParadox) SaveState(e *ckpt.Encoder) {
+	saveSource(e, b.src.State())
+	e.U64s(b.set)
+	e.U64(b.left)
+	e.I64(int64(b.pos))
+}
+
+// LoadState restores state written by SaveState into an attack built
+// from the identical configuration.
+func (b *BirthdayParadox) LoadState(dec *ckpt.Decoder) error {
+	src := loadSource(dec)
+	set := dec.U64s()
+	left := dec.U64()
+	pos := dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(set) != len(b.set) || left > b.burst || pos < 0 || pos >= int64(len(b.set)) {
+		return fmt.Errorf("trace: birthday checkpoint state out of range")
+	}
+	copy(b.set, set)
+	b.src.SetState(src)
+	b.left = left
+	b.pos = int(pos)
+	return nil
+}
+
+// SaveState serializes the replay cursor. The records themselves come
+// from the trace file the workload was built from.
+func (r *Replay) SaveState(e *ckpt.Encoder) {
+	e.I64(int64(r.pos))
+}
+
+// LoadState restores state written by SaveState.
+func (r *Replay) LoadState(dec *ckpt.Decoder) error {
+	pos := dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if pos < 0 || pos >= int64(len(r.records)) {
+		return fmt.Errorf("trace: replay checkpoint cursor %d out of range", pos)
+	}
+	r.pos = int(pos)
+	return nil
+}

@@ -1,0 +1,150 @@
+package wear
+
+import (
+	"fmt"
+
+	"wlreviver/internal/ckpt"
+)
+
+// SaveState serializes Start-Gap's mutable registers. The static
+// randomizer is reconstructed from configuration on restore and is not
+// written.
+func (s *StartGap) SaveState(e *ckpt.Encoder) {
+	e.U64(s.start)
+	e.U64(s.gap)
+	e.U64(s.writes)
+	e.U64(s.gapMoves)
+}
+
+// LoadState restores registers written by SaveState into a scheme built
+// from the identical configuration.
+func (s *StartGap) LoadState(dec *ckpt.Decoder) error {
+	start := dec.U64()
+	gap := dec.U64()
+	writes := dec.U64()
+	gapMoves := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if start >= s.n || gap > s.n || writes >= s.period {
+		return fmt.Errorf("wear: start-gap checkpoint registers out of range")
+	}
+	s.start = start
+	s.gap = gap
+	s.writes = writes
+	s.gapMoves = gapMoves
+	return nil
+}
+
+// SaveState serializes the regioned scheme: each region's Start-Gap
+// registers in region order.
+func (s *RegionedStartGap) SaveState(e *ckpt.Encoder) {
+	e.U32(uint32(len(s.regions)))
+	for _, r := range s.regions {
+		r.SaveState(e)
+	}
+}
+
+// LoadState restores state written by SaveState into a scheme built from
+// the identical configuration.
+func (s *RegionedStartGap) LoadState(dec *ckpt.Decoder) error {
+	n := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(s.regions) {
+		return fmt.Errorf("wear: checkpoint has %d regions, scheme has %d", n, len(s.regions))
+	}
+	for _, r := range s.regions {
+		if err := r.LoadState(dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// saveState serializes one refresh region's registers and RNG stream
+// position. The memoization table is derived and rebuilt on load.
+func (r *srRegion) saveState(e *ckpt.Encoder) {
+	e.U64(r.kPrev)
+	e.U64(r.kCur)
+	e.U64(r.rp)
+	e.U64(r.swaps)
+	e.U64(r.round)
+	st := r.src.State()
+	for _, w := range st {
+		e.U64(w)
+	}
+}
+
+// loadState restores registers written by saveState and rebuilds the
+// memoization table from them.
+func (r *srRegion) loadState(dec *ckpt.Decoder) error {
+	kPrev := dec.U64()
+	kCur := dec.U64()
+	rp := dec.U64()
+	swaps := dec.U64()
+	round := dec.U64()
+	var st [4]uint64
+	for i := range st {
+		st[i] = dec.U64()
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if kPrev >= r.size || kCur >= r.size || rp > r.size {
+		return fmt.Errorf("wear: security-refresh checkpoint registers out of range")
+	}
+	r.kPrev = kPrev
+	r.kCur = kCur
+	r.rp = rp
+	r.swaps = swaps
+	r.round = round
+	r.src.SetState(st)
+	if r.tbl != nil {
+		for ra := uint64(0); ra < r.size; ra++ {
+			r.tbl[ra] = uint32(r.mapSlow(ra))
+		}
+	}
+	return nil
+}
+
+// SaveState serializes Security Refresh: the outer region, every inner
+// region in index order, and the write pacing counters.
+func (s *SecurityRefresh) SaveState(e *ckpt.Encoder) {
+	s.outer.saveState(e)
+	e.U32(uint32(len(s.inner)))
+	for _, r := range s.inner {
+		r.saveState(e)
+	}
+	e.U64(s.outerW)
+	e.U64s(s.innerW)
+}
+
+// LoadState restores state written by SaveState into a scheme built from
+// the identical configuration.
+func (s *SecurityRefresh) LoadState(dec *ckpt.Decoder) error {
+	if err := s.outer.loadState(dec); err != nil {
+		return err
+	}
+	n := int(dec.U32())
+	if dec.Err() == nil && n != len(s.inner) {
+		return fmt.Errorf("wear: checkpoint has %d inner regions, scheme has %d", n, len(s.inner))
+	}
+	for _, r := range s.inner {
+		if err := r.loadState(dec); err != nil {
+			return err
+		}
+	}
+	outerW := dec.U64()
+	innerW := dec.U64s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(innerW) != len(s.innerW) {
+		return fmt.Errorf("wear: checkpoint inner pacing count mismatch")
+	}
+	copy(s.innerW, innerW)
+	s.outerW = outerW
+	return nil
+}

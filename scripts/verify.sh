@@ -34,8 +34,19 @@ go build ./...
 echo "== go build ./examples/..."
 go build ./examples/...
 
-echo "== go test ./..."
-go test ./...
+# The test pass doubles as the coverage gate: the profile feeds a
+# ratchet floor (raise COVER_MIN when coverage rises; never lower it)
+# and coverage.html, which CI publishes as an artifact.
+COVER_MIN=65.0
+echo "== go test -coverprofile=coverage.out ./..."
+go test -coverprofile=coverage.out ./...
+total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+if awk -v got="$total" -v min="$COVER_MIN" 'BEGIN { exit !(got < min) }'; then
+	echo "coverage regression: total ${total}% is below the ${COVER_MIN}% floor" >&2
+	exit 1
+fi
+echo "coverage: ${total}% (floor ${COVER_MIN}%)"
+go tool cover -html=coverage.out -o coverage.html
 
 echo "== go test -race ./..."
 go test -race ./...

@@ -165,6 +165,17 @@ type (
 	AttacksResult = sim.AttacksResult
 )
 
+// CheckpointPlan coordinates per-job checkpointing, resume and crash
+// injection across an experiment sweep (set it on Scale.Checkpoint). A
+// run resumed from its checkpoints is byte-identical to an
+// uninterrupted run; see EXPERIMENTS.md § Checkpoint format.
+type CheckpointPlan = sim.CheckpointPlan
+
+// ErrCrashed reports that an injected crash fault halted a sweep; a
+// later run with CheckpointPlan.Resume converges to the uninterrupted
+// result.
+var ErrCrashed = sim.ErrCrashed
+
 // Experiment is one registered evaluation preset (name, doc, runner).
 type Experiment = sim.Experiment
 
