@@ -17,12 +17,22 @@ verify:
 # Perf-trajectory snapshot: run the full experiment suite at the reduced
 # tiny scale and record per-experiment wall-clock and writes/sec as
 # BENCH_<timestamp>.json plus every engine's event counters and snapshot
-# series as METRICS_<timestamp>.json. EXPERIMENTS.md documents both JSON
-# schemas; compare BENCH snapshots across commits to track the hot path.
+# series as METRICS_<timestamp>.json, then the Figure 6 experiment on an
+# 8-shard grid once per shard-pool width (1, 2, all CPUs) as
+# BENCH_<timestamp>-shards<N>.json — like-for-like rows whose ratios are
+# this machine's intra-engine speedup (compare with
+# `go run ./cmd/paper -benchdiff old.json new.json`). EXPERIMENTS.md
+# documents both JSON schemas; compare BENCH snapshots across commits to
+# track the hot path.
 bench:
 	stamp=$$(date +%Y%m%d-%H%M%S) && \
 	go run ./cmd/paper -scale tiny -exp all \
-		-benchjson BENCH_$$stamp.json -metrics METRICS_$$stamp.json
+		-benchjson BENCH_$$stamp.json -metrics METRICS_$$stamp.json && \
+	for n in 1 2 0; do \
+		go run ./cmd/paper -scale tiny -exp fig6 -workers 1 \
+			-shard-grid 8 -shards $$n -timing=false \
+			-benchjson BENCH_$$stamp-shards$$n.json >/dev/null || exit 1; \
+	done
 
 # Go-test microbenchmarks (result-shape metrics + hot-path ns/op).
 microbench:

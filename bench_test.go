@@ -308,6 +308,28 @@ func BenchmarkFig6_ByWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkFig6_ByShards measures the intra-engine shard pool: the same
+// Figure 6 experiment on an 8-shard grid, engines serial (workers=1) so
+// all parallelism comes from within each engine, at -shards 1 and
+// NumCPU. The ratio of the two is the single-device speedup sharding
+// buys on this machine; the simulated results are byte-identical across
+// the rows (enforced by the sim package's sharding equivalence tests).
+func BenchmarkFig6_ByShards(b *testing.B) {
+	for _, shards := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := TinyScale()
+			s.Workers = 1
+			s.ShardGrid = 8
+			s.Shards = shards
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig6(s, "ocean"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ---- hot-path microbenchmarks -------------------------------------------------
 
 // BenchmarkEngineStepHealthy measures the per-write cost of the full

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	paper [-scale tiny|bench|paper] [-exp all|table1|fig5|fig6|fig7|fig8|table2|attacks]
-//	      [-seed N] [-workers N] [-cpuprofile f] [-memprofile f] [-benchjson f]
+//	paper [-scale tiny|bench|paper|paper1gb] [-exp all|table1|fig5|fig6|fig7|fig8|table2|attacks]
+//	      [-seed N] [-workers N] [-shards N] [-shard-grid N] [-budget F]
+//	      [-cpuprofile f] [-memprofile f] [-benchjson f]
 //	      [-csv dir] [-metrics f] [-progress] [-timing=false]
 //	      [-checkpoint-every N] [-checkpoint-dir d] [-resume d] [-crash-after N]
 //	paper -benchdiff old.json new.json
@@ -18,6 +19,17 @@
 // and writes the collected event counters and snapshot series as JSON
 // (schema in EXPERIMENTS.md); -progress streams snapshot lines to stderr.
 // Neither changes the simulated results or stdout.
+//
+// When the scale carries a shard grid (paper1gb does; -shard-grid sets
+// one anywhere), each engine's chip is partitioned into that many
+// independent sub-chips executed by a per-engine pool of -shards
+// goroutines (default: all CPUs). The grid is semantic — it selects a
+// coarser chip model, appears in the banner, and is part of checkpoint
+// state — while -shards is pure execution width: results are
+// byte-identical for every value, and checkpoints move freely between
+// widths. -budget overrides the scale's write budget (simulated
+// writes/block); paper1gb needs it, as a full-lifetime run at 1e8
+// endurance is ~1e15 writes.
 //
 // -checkpoint-dir writes per-engine checkpoint files (every
 // -checkpoint-every simulated writes, and at each job's completion);
@@ -57,10 +69,13 @@ func main() {
 }
 
 func run() error {
-	scaleName := flag.String("scale", "bench", "experiment scale: tiny, bench or paper")
+	scaleName := flag.String("scale", "bench", "experiment scale: tiny, bench, paper or paper1gb")
 	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, fig8, table2 or attacks")
 	seed := flag.Uint64("seed", 0, "override the scale's RNG seed (0 keeps the default)")
 	workers := flag.Int("workers", runtime.NumCPU(), "engine fan-out per experiment; 1 runs serially")
+	shards := flag.Int("shards", 0, "per-engine shard execution pool width (0: all CPUs); output-invariant")
+	shardGrid := flag.Uint64("shard-grid", 0, "partition each chip into N shards (semantic; 0 keeps the scale's default)")
+	budget := flag.Float64("budget", 0, "override the scale's write budget in simulated writes per block (0 keeps the default)")
 	csvDir := flag.String("csv", "", "also write the curve figures as CSV files into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
@@ -90,6 +105,8 @@ func run() error {
 		scale = wlreviver.BenchScale()
 	case "paper":
 		scale = wlreviver.PaperScale()
+	case "paper1gb":
+		scale = wlreviver.Paper1GBScale()
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
@@ -97,6 +114,13 @@ func run() error {
 		scale.Seed = *seed
 	}
 	scale.Workers = *workers
+	if *shardGrid != 0 {
+		scale.ShardGrid = *shardGrid
+	}
+	scale.Shards = *shards
+	if *budget != 0 {
+		scale.MaxWritesPerBlock = *budget
+	}
 
 	if *resumeDir != "" {
 		if *ckptDir != "" && *ckptDir != *resumeDir {
@@ -145,14 +169,20 @@ func run() error {
 	}
 
 	// The banner mentions workers only when parallel, so the output is
-	// byte-identical across -workers values apart from this header.
+	// byte-identical across -workers values apart from this header. The
+	// shard grid appears because it is semantic (a different chip model);
+	// -shards never does, because the pool width is output-invariant.
 	parallelNote := ""
 	if scale.Workers > 1 {
 		parallelNote = fmt.Sprintf(" workers=%d", scale.Workers)
 	}
-	fmt.Printf("# scale=%s blocks=%d page=%d blocks endurance=%.0f psi=%d seed=%d%s\n\n",
+	gridNote := ""
+	if scale.ShardGrid >= 2 {
+		gridNote = fmt.Sprintf(" shardgrid=%d", scale.ShardGrid)
+	}
+	fmt.Printf("# scale=%s blocks=%d page=%d blocks endurance=%.0f psi=%d seed=%d%s%s\n\n",
 		*scaleName, scale.Blocks, scale.BlocksPerPage, scale.MeanEndurance,
-		scale.GapWritePeriod, scale.Seed, parallelNote)
+		scale.GapWritePeriod, scale.Seed, gridNote, parallelNote)
 
 	experiments := wlreviver.Experiments()
 	if *exp != "all" {
@@ -164,10 +194,19 @@ func run() error {
 	}
 
 	report := benchReport{
-		Scale:   *scaleName,
-		Seed:    scale.Seed,
-		Workers: scale.Workers,
-		NumCPU:  runtime.NumCPU(),
+		Scale:     *scaleName,
+		Seed:      scale.Seed,
+		Workers:   scale.Workers,
+		ShardGrid: scale.ShardGrid,
+		NumCPU:    runtime.NumCPU(),
+	}
+	if scale.ShardGrid >= 2 {
+		// Record the effective pool width (0 means "all CPUs" on the
+		// flag) so bench rows are self-describing.
+		report.Shards = scale.Shards
+		if report.Shards == 0 {
+			report.Shards = runtime.GOMAXPROCS(0)
+		}
 	}
 	for _, e := range experiments {
 		start := time.Now()
@@ -230,6 +269,8 @@ type benchReport struct {
 	Scale        string            `json:"scale"`
 	Seed         uint64            `json:"seed"`
 	Workers      int               `json:"workers"`
+	Shards       int               `json:"shards,omitempty"`
+	ShardGrid    uint64            `json:"shard_grid,omitempty"`
 	NumCPU       int               `json:"num_cpu"`
 	Experiments  []benchExperiment `json:"experiments"`
 	TotalSeconds float64           `json:"total_seconds"`
@@ -285,11 +326,15 @@ func runBenchDiff(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("# benchdiff %s (scale=%s seed=%d workers=%d) vs %s (scale=%s seed=%d workers=%d)\n",
-		oldPath, oldR.Scale, oldR.Seed, oldR.Workers,
-		newPath, newR.Scale, newR.Seed, newR.Workers)
-	if oldR.Scale != newR.Scale || oldR.Seed != newR.Seed || oldR.Workers != newR.Workers {
-		fmt.Println("# warning: runs differ in scale, seed or workers; deltas are not like-for-like")
+	fmt.Printf("# benchdiff %s (scale=%s seed=%d workers=%d shards=%d) vs %s (scale=%s seed=%d workers=%d shards=%d)\n",
+		oldPath, oldR.Scale, oldR.Seed, oldR.Workers, oldR.Shards,
+		newPath, newR.Scale, newR.Seed, newR.Workers, newR.Shards)
+	// Differing -shards is the intended comparison (same simulation,
+	// different pool width), so it draws no warning; a differing grid is
+	// a different chip model and does.
+	if oldR.Scale != newR.Scale || oldR.Seed != newR.Seed || oldR.Workers != newR.Workers ||
+		oldR.ShardGrid != newR.ShardGrid {
+		fmt.Println("# warning: runs differ in scale, seed, workers or shard grid; deltas are not like-for-like")
 	}
 	fmt.Printf("%-12s %10s %10s %8s %14s %14s %8s\n",
 		"experiment", "old s", "new s", "time", "old w/s", "new w/s", "w/s")

@@ -69,6 +69,41 @@ func TestGoldenTable1Stdout(t *testing.T) {
 	}
 }
 
+// TestShardedCLIByteIdentity is the binary-level face of the sharding
+// contract: with a fixed semantic grid (-shard-grid 4), the execution
+// pool width (-shards) must leave stdout and the -metrics JSON byte for
+// byte unchanged. The banner is included deliberately — it names the
+// grid but never the pool width.
+func TestShardedCLIByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sharding differential is slow; run without -short")
+	}
+	dir := t.TempDir()
+	var wantOut, wantJSON string
+	for _, shards := range []string{"1", "7"} {
+		metrics := filepath.Join(dir, "metrics-"+shards+".json")
+		out, code := paper(t, "-scale", "tiny", "-exp", "fig8", "-workers", "1",
+			"-shard-grid", "4", "-shards", shards, "-timing=false", "-metrics", metrics)
+		if code != 0 {
+			t.Fatalf("-shards %s exit code %d", shards, code)
+		}
+		data, err := os.ReadFile(metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards == "1" {
+			wantOut, wantJSON = out, string(data)
+			continue
+		}
+		if out != wantOut {
+			t.Errorf("-shards %s stdout differs from -shards 1", shards)
+		}
+		if string(data) != wantJSON {
+			t.Errorf("-shards %s -metrics JSON differs from -shards 1", shards)
+		}
+	}
+}
+
 // TestCrashResumeCLI is the binary-level differential: a run killed by
 // -crash-after (exit code 3) and resumed with -resume must reproduce
 // the uninterrupted run's stdout and -metrics JSON byte for byte.

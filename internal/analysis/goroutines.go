@@ -2,17 +2,22 @@ package analysis
 
 import "go/ast"
 
-// runnerFile is the one non-test file allowed to start goroutines: the
-// worker pool that fans experiments out and merges results in a
-// deterministic order.
-const runnerFile = "internal/sim/runner.go"
+// The only non-test files allowed to start goroutines: the worker pool
+// that fans experiments out across engines, and the shard scheduler that
+// fans one engine's address-space shards out within a batch. Both merge
+// their results in a deterministic order after a barrier, which is what
+// keeps parallel output byte-identical to the serial run.
+const (
+	runnerFile    = "internal/sim/runner.go"
+	shardPoolFile = "internal/sim/shardpool.go"
+)
 
-// ConfinedGoroutines bans `go` statements outside internal/sim/runner.go
-// and _test.go files. All concurrency flows through the worker pool,
-// whose merge step is what makes parallel output byte-identical to the
-// serial run; an ad-hoc goroutine anywhere else can reorder writes into
-// shared results and break that equivalence in ways the race detector
-// only catches probabilistically.
+// ConfinedGoroutines bans `go` statements outside the two scheduler
+// files and _test.go files. All concurrency flows through those pools,
+// whose ordered merge steps are what make parallel output byte-identical
+// to the serial run; an ad-hoc goroutine anywhere else can reorder
+// writes into shared results and break that equivalence in ways the race
+// detector only catches probabilistically.
 type ConfinedGoroutines struct{}
 
 // Name implements Rule.
@@ -20,17 +25,17 @@ func (*ConfinedGoroutines) Name() string { return "confined-goroutines" }
 
 // Doc implements Rule.
 func (*ConfinedGoroutines) Doc() string {
-	return "go statements are confined to internal/sim/runner.go and _test.go files"
+	return "go statements are confined to internal/sim/runner.go, internal/sim/shardpool.go and _test.go files"
 }
 
 // Check implements Rule.
 func (*ConfinedGoroutines) Check(f *File, report func(ast.Node, string, ...any)) {
-	if f.Path == runnerFile || f.IsTest() {
+	if f.Path == runnerFile || f.Path == shardPoolFile || f.IsTest() {
 		return
 	}
 	ast.Inspect(f.AST, func(n ast.Node) bool {
 		if g, ok := n.(*ast.GoStmt); ok {
-			report(g, "go statement outside %s: route concurrency through the sim worker pool", runnerFile)
+			report(g, "go statement outside %s or %s: route concurrency through the sim worker or shard pools", runnerFile, shardPoolFile)
 		}
 		return true
 	})

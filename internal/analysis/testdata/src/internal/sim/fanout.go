@@ -1,0 +1,10 @@
+// Fixture: the goroutine allowance is per-file, not per-package — a go
+// statement in any OTHER internal/sim file is still a finding, exactly
+// as it is outside the package (see internal/stats/spawn.go).
+package sim
+
+// SpawnHelper is the tempting mistake the rule exists for: "it's still
+// in package sim" does not make an ad-hoc goroutine deterministic.
+func SpawnHelper(f func()) {
+	go f() // want confined-goroutines "go statement outside internal/sim/runner.go"
+}

@@ -157,6 +157,11 @@ func (p *Passthrough) SoftwareUsableFraction() float64 {
 	return p.os.UsableFraction()
 }
 
+// RequestCounts returns cumulative (software requests, raw accesses).
+func (p *Passthrough) RequestCounts() (requests, accesses uint64) {
+	return p.requests, p.reqAccesses
+}
+
 // RequestAccessRatio returns raw accesses per software request.
 func (p *Passthrough) RequestAccessRatio() float64 {
 	if p.requests == 0 {

@@ -1,0 +1,141 @@
+package obs
+
+// Recorder is an Observer that buffers every event it receives instead
+// of acting on it, so a batch of events can be replayed later — in a
+// caller-chosen order — into another Observer. The sharded engine gives
+// each address-space shard its own Recorder: shard sub-simulations then
+// run concurrently without sharing the user's observer, and at every
+// batch-boundary merge the buffered events are replayed shard by shard
+// in shard-index order, making the user-visible event stream independent
+// of how the shards interleaved on the pool's goroutines.
+//
+// A Recorder is confined to one shard's simulation goroutine between
+// merges and to the merging goroutine during Replay; it needs no
+// locking, exactly like every other Observer.
+type Recorder struct {
+	events []event
+	snaps  []Snapshot
+}
+
+// eventKind discriminates the buffered event payloads.
+type eventKind uint8
+
+const (
+	evBlockFailed eventKind = iota
+	evCellFailed
+	evRevived
+	evRemapCacheHit
+	evRemapCacheMiss
+	evGapMoved
+	evRegionSwapped
+	evPageRetired
+	evSnapshot
+)
+
+// event is one buffered observation: two address/value words plus one
+// small integer, interpreted per kind.
+type event struct {
+	kind eventKind
+	a, b uint64
+	i    int
+}
+
+// Rebase shifts shard-local identifiers into the enclosing chip's global
+// spaces during Replay. A shard simulates device addresses, pages and
+// leveler regions starting at zero; the sharded engine passes the
+// shard's base offsets so the replayed stream reads as one chip.
+type Rebase struct {
+	// DA is added to every device address (block failures, cell
+	// failures, revives, gap and swap addresses, remap-cache keys).
+	DA uint64
+	// Page is added to every OS page number.
+	Page uint64
+	// Region is added to every leveler region index.
+	Region int
+}
+
+// Len returns the number of buffered events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset discards the buffered events, keeping capacity.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.snaps = r.snaps[:0]
+}
+
+// Replay delivers the buffered events to o in recording order, rebasing
+// shard-local identifiers through rb. The buffer is left intact; callers
+// pair Replay with Reset.
+func (r *Recorder) Replay(o Observer, rb Rebase) {
+	for _, e := range r.events {
+		switch e.kind {
+		case evBlockFailed:
+			o.BlockFailed(e.a+rb.DA, e.b)
+		case evCellFailed:
+			o.CellFailed(e.a+rb.DA, e.i)
+		case evRevived:
+			o.Revived(e.a+rb.DA, e.b+rb.DA)
+		case evRemapCacheHit:
+			o.RemapCacheHit(e.a + rb.DA)
+		case evRemapCacheMiss:
+			o.RemapCacheMiss(e.a + rb.DA)
+		case evGapMoved:
+			o.GapMoved(e.i+rb.Region, e.a+rb.DA)
+		case evRegionSwapped:
+			o.RegionSwapped(e.a+rb.DA, e.b+rb.DA)
+		case evPageRetired:
+			o.PageRetired(e.a + rb.Page)
+		case evSnapshot:
+			o.Snapshot(r.snaps[e.i])
+		}
+	}
+}
+
+// BlockFailed implements Observer.
+func (r *Recorder) BlockFailed(da uint64, wear uint64) {
+	r.events = append(r.events, event{kind: evBlockFailed, a: da, b: wear})
+}
+
+// CellFailed implements Observer.
+func (r *Recorder) CellFailed(da uint64, failedCells int) {
+	r.events = append(r.events, event{kind: evCellFailed, a: da, i: failedCells})
+}
+
+// Revived implements Observer.
+func (r *Recorder) Revived(da uint64, shadowPA uint64) {
+	r.events = append(r.events, event{kind: evRevived, a: da, b: shadowPA})
+}
+
+// RemapCacheHit implements Observer.
+func (r *Recorder) RemapCacheHit(key uint64) {
+	r.events = append(r.events, event{kind: evRemapCacheHit, a: key})
+}
+
+// RemapCacheMiss implements Observer.
+func (r *Recorder) RemapCacheMiss(key uint64) {
+	r.events = append(r.events, event{kind: evRemapCacheMiss, a: key})
+}
+
+// GapMoved implements Observer.
+func (r *Recorder) GapMoved(region int, gapDA uint64) {
+	r.events = append(r.events, event{kind: evGapMoved, a: gapDA, i: region})
+}
+
+// RegionSwapped implements Observer.
+func (r *Recorder) RegionSwapped(a, b uint64) {
+	r.events = append(r.events, event{kind: evRegionSwapped, a: a, b: b})
+}
+
+// PageRetired implements Observer.
+func (r *Recorder) PageRetired(page uint64) {
+	r.events = append(r.events, event{kind: evPageRetired, a: page})
+}
+
+// Snapshot implements Observer. Snapshots carry no addresses, so Replay
+// forwards them unrebased.
+func (r *Recorder) Snapshot(s Snapshot) {
+	r.events = append(r.events, event{kind: evSnapshot, i: len(r.snaps)})
+	r.snaps = append(r.snaps, s)
+}
+
+var _ Observer = (*Recorder)(nil)

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// logObserver renders each delivered event as one line, so replay tests
+// can compare exact sequences.
+type logObserver struct {
+	Base
+	lines []string
+}
+
+func (l *logObserver) BlockFailed(da, wear uint64)   { l.add("block %d %d", da, wear) }
+func (l *logObserver) CellFailed(da uint64, n int)   { l.add("cell %d %d", da, n) }
+func (l *logObserver) Revived(da, shadow uint64)     { l.add("revived %d %d", da, shadow) }
+func (l *logObserver) RemapCacheHit(key uint64)      { l.add("hit %d", key) }
+func (l *logObserver) RemapCacheMiss(key uint64)     { l.add("miss %d", key) }
+func (l *logObserver) GapMoved(region int, g uint64) { l.add("gap %d %d", region, g) }
+func (l *logObserver) RegionSwapped(a, b uint64)     { l.add("swap %d %d", a, b) }
+func (l *logObserver) PageRetired(page uint64)       { l.add("retired %d", page) }
+func (l *logObserver) Snapshot(s Snapshot)           { l.add("snap %d", s.Writes) }
+
+func (l *logObserver) add(format string, args ...any) {
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+// TestRecorderReplayRebases drives one of each event through a Recorder
+// and checks the replayed stream: recording order preserved, device
+// addresses, pages and regions shifted by the rebase offsets, snapshots
+// and wear counts passed through untouched.
+func TestRecorderReplayRebases(t *testing.T) {
+	r := &Recorder{}
+	r.BlockFailed(3, 99)
+	r.CellFailed(4, 7)
+	r.Revived(5, 6)
+	r.RemapCacheHit(8)
+	r.RemapCacheMiss(9)
+	r.GapMoved(1, 10)
+	r.RegionSwapped(11, 12)
+	r.PageRetired(2)
+	r.Snapshot(Snapshot{Writes: 1234})
+	if r.Len() != 9 {
+		t.Fatalf("Len() = %d, want 9", r.Len())
+	}
+
+	var got logObserver
+	r.Replay(&got, Rebase{DA: 100, Page: 20, Region: 4})
+	want := []string{
+		"block 103 99",
+		"cell 104 7",
+		"revived 105 106",
+		"hit 108",
+		"miss 109",
+		"gap 5 110",
+		"swap 111 112",
+		"retired 22",
+		"snap 1234",
+	}
+	if len(got.lines) != len(want) {
+		t.Fatalf("replayed %d events, want %d: %v", len(got.lines), len(want), got.lines)
+	}
+	for i := range want {
+		if got.lines[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, got.lines[i], want[i])
+		}
+	}
+
+	// Replay leaves the buffer intact; Reset empties it.
+	if r.Len() != 9 {
+		t.Fatalf("Replay consumed the buffer: Len() = %d", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Reset left %d events", r.Len())
+	}
+	var after logObserver
+	r.Replay(&after, Rebase{})
+	if len(after.lines) != 0 {
+		t.Fatalf("replay after Reset delivered %v", after.lines)
+	}
+}
+
+// TestRecorderZeroRebase: a zero Rebase is the identity, so a Recorder
+// inserted between a layer and its observer is invisible.
+func TestRecorderZeroRebase(t *testing.T) {
+	r := &Recorder{}
+	var direct, relayed logObserver
+	feed := func(o Observer) {
+		o.BlockFailed(1, 2)
+		o.GapMoved(0, 3)
+		o.PageRetired(4)
+	}
+	feed(&direct)
+	feed(r)
+	r.Replay(&relayed, Rebase{})
+	if len(direct.lines) != len(relayed.lines) {
+		t.Fatalf("relayed %d events, want %d", len(relayed.lines), len(direct.lines))
+	}
+	for i := range direct.lines {
+		if direct.lines[i] != relayed.lines[i] {
+			t.Errorf("event %d = %q, want %q", i, relayed.lines[i], direct.lines[i])
+		}
+	}
+}

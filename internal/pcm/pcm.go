@@ -286,6 +286,13 @@ func (d *Device) WearCoV() float64 {
 	return stats.CoVOfCounts(d.wear)
 }
 
+// WearMoments returns the streaming moments of per-block wear. Shards of a
+// partitioned chip merge these (stats.Welford.Merge) to report the whole
+// chip's WearCoV without concatenating the per-shard counts.
+func (d *Device) WearMoments() stats.Welford {
+	return stats.WelfordOfCounts(d.wear)
+}
+
 // SetObserver attaches an event observer (nil detaches). Cell-failure
 // events fire only on the checked write path; the failure-horizon fast
 // path by construction services writes that cannot fail a cell.

@@ -77,7 +77,7 @@ func Attacks(s Scale) (*AttacksResult, error) {
 					if err != nil {
 						return AttackRow{}, 0, err
 					}
-					curve, err := runCurve(e, s.Checkpoint.driver(key), atk.name, usable, 0.70, s.maxWrites())
+					curve, err := runCurve(e, s.Checkpoint.driver(key), atk.name, usable, 0.70, s.maxWrites(), s.batch())
 					if err != nil {
 						return AttackRow{}, 0, err
 					}

@@ -115,7 +115,7 @@ func (d *ckptDriver) path() string {
 // the next checkpoint boundary either way. A missing file is a fresh
 // start, not an error; a present-but-invalid file is an error — a
 // corrupt checkpoint must never silently diverge.
-func (d *ckptDriver) restore(e *Engine, loadHarness func(*ckpt.Decoder) error) error {
+func (d *ckptDriver) restore(e Machine, loadHarness func(*ckpt.Decoder) error) error {
 	if d == nil {
 		return nil
 	}
@@ -153,7 +153,7 @@ func (d *ckptDriver) restore(e *Engine, loadHarness func(*ckpt.Decoder) error) e
 
 // arm applies the plan's per-engine crash fault when this job's key
 // matches.
-func (d *ckptDriver) arm(e *Engine) {
+func (d *ckptDriver) arm(e Machine) {
 	if d == nil || d.plan.CrashKey == "" {
 		return
 	}
@@ -176,7 +176,7 @@ func (d *ckptDriver) clampBatch(want uint64) (allowed uint64, crashNow bool) {
 // batches never reach here — a crash abandons the job abruptly, like
 // the process kill it simulates, so the file keeps the previous
 // consistent image.
-func (d *ckptDriver) afterBatch(e *Engine, final bool, saveHarness func(*ckpt.Encoder)) error {
+func (d *ckptDriver) afterBatch(e Machine, final bool, saveHarness func(*ckpt.Encoder)) error {
 	if d == nil {
 		return nil
 	}

@@ -618,6 +618,18 @@ func (e *Engine) UsableFraction() float64 {
 	return e.os.UsableFraction()
 }
 
+// DeadFraction returns the fraction of device blocks declared dead
+// (Table II's failure-ratio ladder).
+func (e *Engine) DeadFraction() float64 {
+	return float64(e.dev.DeadBlocks()) / float64(e.dev.NumBlocks())
+}
+
+// RequestCounts returns cumulative (software requests, raw PCM accesses)
+// where the protector tracks them, else zeros.
+func (e *Engine) RequestCounts() (requests, accesses uint64) {
+	return requestCounts(e.prot)
+}
+
 // Crippled reports whether wear leveling has ceased to function.
 func (e *Engine) Crippled() bool {
 	return e.crip != nil && e.crip.Crippled()

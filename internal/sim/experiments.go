@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"wlreviver/internal/ckpt"
+	"wlreviver/internal/drm"
 	"wlreviver/internal/freep"
 	"wlreviver/internal/lls"
 	"wlreviver/internal/mc"
@@ -54,6 +55,23 @@ type Scale struct {
 	// resumed from any checkpoint is byte-identical to an uninterrupted
 	// run; with Checkpoint nil the runners take no extra branches.
 	Checkpoint *CheckpointPlan
+
+	// ShardGrid, when >= 2, partitions every engine's address space into
+	// that many independent shards executed by a per-engine pool
+	// (ShardedEngine). The grid is SEMANTIC — it selects a coarser chip
+	// model and is part of the checkpointed state — while Shards below
+	// only sets execution width. 0 and 1 build the monolithic Engine.
+	ShardGrid uint64
+	// Shards is the per-engine shard execution pool width (0: GOMAXPROCS).
+	// Results are byte-identical for every value (enforced by
+	// TestShardedMatchesSerial); it is never persisted, so checkpoints
+	// move freely between widths.
+	Shards int
+	// BatchWrites is the write-batch size between stop-condition checks,
+	// curve samples and shard merge barriers (0: a small default suited to
+	// test scales). Paper-scale runs want millions per batch so the shard
+	// pool amortises its barrier.
+	BatchWrites uint64
 }
 
 // TinyScale is for unit tests: a 64 KiB chip.
@@ -81,6 +99,23 @@ func PaperScale() Scale {
 	}
 }
 
+// Paper1GBScale is the paper's actual setup (§IV-A): a 1 GB chip of 2^24
+// 64 B blocks, 4 KB pages, 10^8 mean endurance, ψ=100 — reached by
+// sharding the chip into 64 independent sub-chips so one engine's run
+// saturates every core. Simulating the full device lifetime at this
+// endurance is ~10^15 writes and out of reach on any machine; the
+// default budget bounds a run to a fixed write volume (override
+// MaxWritesPerBlock, or cmd/paper's -budget, to go further), which is
+// what the paper-scale smoke job and the committed Performance numbers
+// use.
+func Paper1GBScale() Scale {
+	return Scale{
+		Blocks: 1 << 24, BlocksPerPage: 64, MeanEndurance: 1e8,
+		GapWritePeriod: 100, Seed: 42, MaxWritesPerBlock: 4,
+		ShardGrid: 64, BatchWrites: 1 << 21,
+	}
+}
+
 // config derives an engine Config from the scale. LLS's chunk is sized
 // at 1/16 of capacity, the paper's 64 MB : 1 GB proportion.
 func (s Scale) config() Config {
@@ -100,6 +135,33 @@ func (s Scale) config() Config {
 // maxWrites returns the run budget in writes.
 func (s Scale) maxWrites() uint64 {
 	return uint64(s.MaxWritesPerBlock * float64(s.Blocks))
+}
+
+// batch returns the write-batch size between stop checks, samples and
+// shard merges.
+func (s Scale) batch() uint64 {
+	if s.BatchWrites > 0 {
+		return s.BatchWrites
+	}
+	return checkEvery
+}
+
+// newMachine builds the chip the scale asks for — the monolithic Engine,
+// or a ShardedEngine over ShardGrid independent shards each running its
+// own instance of the named benchmark workload — behind the common
+// Machine surface every experiment drives.
+func (s Scale) newMachine(cfg Config, workload string) (Machine, error) {
+	if s.ShardGrid <= 1 {
+		gen, err := trace.NewBenchmark(workload, cfg.Blocks, cfg.BlocksPerPage, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return NewEngine(cfg, gen)
+	}
+	sc := ShardedConfig{Grid: s.ShardGrid, Pool: s.Shards}
+	return NewShardedEngine(sc, cfg, func(shard uint64, shardCfg Config) (trace.Generator, error) {
+		return trace.NewBenchmark(workload, shardCfg.Blocks, shardCfg.BlocksPerPage, shardCfg.Seed)
+	})
 }
 
 // engineConfig derives the engine config for the engine identified by
@@ -132,16 +194,18 @@ func (s Scale) benchmarkGen(name string) (*trace.Weighted, error) {
 // curve samples; coarse enough to keep the hot loop tight.
 const checkEvery = 1 << 10
 
-// runCurve drives an engine until metric() falls to floor or the budget
+// runCurve drives a machine until metric() falls to floor or the budget
 // runs out, sampling (writes/block, metric) along the way. The inner
 // batch is clamped to the remaining budget, so curves end exactly at
-// maxWrites at every scale (not up to checkEvery-1 writes past it).
+// maxWrites at every scale (not up to batchSize-1 writes past it). For a
+// sharded machine each batch is also the shard merge barrier, so
+// batchSize trades merge overhead against pool idle time.
 //
-// d (nil when checkpointing is off) restores the engine and curve from
+// d (nil when checkpointing is off) restores the machine and curve from
 // the job's checkpoint, checkpoints at batch ends — never mid-batch, so
 // a resumed run replays the identical batch and sample sequence — and
 // injects crash faults, surfacing them as ErrCrashed.
-func runCurve(e *Engine, d *ckptDriver, name string, metric func(*Engine) float64, floor float64, maxWrites uint64) (stats.Curve, error) {
+func runCurve(e Machine, d *ckptDriver, name string, metric func(Machine) float64, floor float64, maxWrites, batchSize uint64) (stats.Curve, error) {
 	curve := stats.Curve{Name: name}
 	done := false
 	if d != nil {
@@ -163,8 +227,8 @@ func runCurve(e *Engine, d *ckptDriver, name string, metric func(*Engine) float6
 	}
 	for e.Writes() < maxWrites {
 		batch := maxWrites - e.Writes()
-		if batch > checkEvery {
-			batch = checkEvery
+		if batch > batchSize {
+			batch = batchSize
 		}
 		allowed, crashNow := d.clampBatch(batch)
 		if allowed < batch {
@@ -191,10 +255,10 @@ func runCurve(e *Engine, d *ckptDriver, name string, metric func(*Engine) float6
 	return curve, nil
 }
 
-// curveJob wraps one engine build + runCurve drive as a runner job. key
+// curveJob wraps one machine build + runCurve drive as a runner job. key
 // is the job's stable qualified identity (observer and checkpoint key);
 // name labels the resulting curve.
-func curveJob(s Scale, key, name string, build func() (*Engine, error), metric func(*Engine) float64, floor float64, maxWrites uint64) Job[stats.Curve] {
+func curveJob(s Scale, key, name string, build func() (Machine, error), metric func(Machine) float64, floor float64, maxWrites uint64) Job[stats.Curve] {
 	return Job[stats.Curve]{
 		Name: name,
 		Run: func() (stats.Curve, uint64, error) {
@@ -202,7 +266,7 @@ func curveJob(s Scale, key, name string, build func() (*Engine, error), metric f
 			if err != nil {
 				return stats.Curve{}, 0, err
 			}
-			c, err := runCurve(e, s.Checkpoint.driver(key), name, metric, floor, maxWrites)
+			c, err := runCurve(e, s.Checkpoint.driver(key), name, metric, floor, maxWrites, s.batch())
 			if err != nil {
 				return stats.Curve{}, 0, err
 			}
@@ -212,10 +276,10 @@ func curveJob(s Scale, key, name string, build func() (*Engine, error), metric f
 }
 
 // survival reads the survival-rate metric.
-func survival(e *Engine) float64 { return e.SurvivalRate() }
+func survival(e Machine) float64 { return e.SurvivalRate() }
 
 // usable reads the software-usable-space metric.
-func usable(e *Engine) float64 { return e.UsableFraction() }
+func usable(e Machine) float64 { return e.UsableFraction() }
 
 // ---- Table I ---------------------------------------------------------------
 
@@ -318,21 +382,17 @@ func Fig5(s Scale) (*Fig5Result, error) {
 			jobs = append(jobs, Job[float64]{
 				Name: key,
 				Run: func() (float64, uint64, error) {
-					gen, err := s.benchmarkGen(spec.Name)
-					if err != nil {
-						return 0, 0, err
-					}
 					cfg := s.engineConfig(key)
 					if withWLR {
 						cfg.Protector = ProtectorWLReviver
 					} else {
 						cfg.Protector = ProtectorNone
 					}
-					e, err := NewEngine(cfg, gen)
+					e, err := s.newMachine(cfg, spec.Name)
 					if err != nil {
 						return 0, 0, err
 					}
-					curve, err := runCurve(e, s.Checkpoint.driver(key), spec.Name, survival, 0.70, s.maxWrites())
+					curve, err := runCurve(e, s.Checkpoint.driver(key), spec.Name, survival, 0.70, s.maxWrites(), s.batch())
 					if err != nil {
 						return 0, 0, err
 					}
@@ -413,16 +473,12 @@ func Fig6(s Scale, workload string) (*Fig6Result, error) {
 		// Curve names repeat across figures, so the observer/checkpoint
 		// key is qualified with the experiment and workload.
 		key := "fig6/" + workload + "/" + v.name
-		jobs = append(jobs, curveJob(s, key, v.name, func() (*Engine, error) {
-			gen, err := s.benchmarkGen(workload)
-			if err != nil {
-				return nil, err
-			}
+		jobs = append(jobs, curveJob(s, key, v.name, func() (Machine, error) {
 			cfg := s.engineConfig(key)
 			cfg.ECC = v.ecc
 			cfg.Leveler = v.level
 			cfg.Protector = v.prot
-			return NewEngine(cfg, gen)
+			return s.newMachine(cfg, workload)
 		}, usable, 0.70, s.maxWrites()))
 	}
 	curves, writes, err := CollectJobs(jobs, s.Workers)
@@ -472,15 +528,11 @@ func Fig7(s Scale, workload string) (*Fig7Result, error) {
 	jobs := make([]Job[stats.Curve], 0, len(arms))
 	for _, a := range arms {
 		key := "fig7/" + workload + "/" + a.name
-		jobs = append(jobs, curveJob(s, key, a.name, func() (*Engine, error) {
-			gen, err := s.benchmarkGen(workload)
-			if err != nil {
-				return nil, err
-			}
+		jobs = append(jobs, curveJob(s, key, a.name, func() (Machine, error) {
 			cfg := s.engineConfig(key)
 			cfg.Protector = a.prot
 			cfg.FreepReserveFraction = a.reserve
-			return NewEngine(cfg, gen)
+			return s.newMachine(cfg, workload)
 		}, usable, 0.50, s.maxWrites()))
 	}
 	curves, writes, err := CollectJobs(jobs, s.Workers)
@@ -522,14 +574,10 @@ func Fig8(s Scale, workload string) (*Fig8Result, error) {
 	jobs := make([]Job[stats.Curve], 0, len(arms))
 	for _, a := range arms {
 		key := "fig8/" + workload + "/" + a.name
-		jobs = append(jobs, curveJob(s, key, a.name, func() (*Engine, error) {
-			gen, err := s.benchmarkGen(workload)
-			if err != nil {
-				return nil, err
-			}
+		jobs = append(jobs, curveJob(s, key, a.name, func() (Machine, error) {
 			cfg := s.engineConfig(key)
 			cfg.Protector = a.prot
-			return NewEngine(cfg, gen)
+			return s.newMachine(cfg, workload)
 		}, usable, 0.50, s.maxWrites()))
 	}
 	curves, writes, err := CollectJobs(jobs, s.Workers)
@@ -584,6 +632,11 @@ func requestCounts(p mc.Protector) (uint64, uint64) {
 	case *freep.FREEp:
 		st := t.Stats()
 		return st.SoftwareWrites + st.SoftwareReads, st.RequestAccesses
+	case *drm.DRM:
+		st := t.Stats()
+		return st.SoftwareWrites + st.SoftwareReads, st.RequestAccesses
+	case *mc.Passthrough:
+		return t.RequestCounts()
 	}
 	return 0, 0
 }
@@ -645,15 +698,11 @@ func (h *table2Harness) load(dec *ckpt.Decoder) error {
 // ratio ladder, one cell per threshold reached.
 func table2Run(s Scale, scheme string, prot ProtectorKind, workload string) ([]Table2Cell, uint64, error) {
 	ratios := []float64{0.10, 0.20, 0.30}
-	gen, err := s.benchmarkGen(workload)
-	if err != nil {
-		return nil, 0, err
-	}
 	key := "table2/" + scheme + "/" + workload
 	cfg := s.engineConfig(key)
 	cfg.Protector = prot
 	cfg.CacheKB = 32
-	e, err := NewEngine(cfg, gen)
+	e, err := s.newMachine(cfg, workload)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -673,10 +722,10 @@ func table2Run(s Scale, scheme string, prot ProtectorKind, workload string) ([]T
 		ratio := ratios[i]
 		h.ratioIdx = i
 		reached := true
-		for float64(e.Device().DeadBlocks())/float64(e.Device().NumBlocks()) < ratio {
+		for e.DeadFraction() < ratio {
 			batch := budget - e.Writes()
-			if batch > checkEvery {
-				batch = checkEvery
+			if batch > s.batch() {
+				batch = s.batch()
 			}
 			if batch == 0 {
 				reached = false
@@ -699,7 +748,7 @@ func table2Run(s Scale, scheme string, prot ProtectorKind, workload string) ([]T
 				break
 			}
 		}
-		req, acc := requestCounts(e.Protector())
+		req, acc := e.RequestCounts()
 		cell := Table2Cell{
 			FailureRatio: ratio, Scheme: scheme, Workload: workload,
 			UsableSpacePct: 100 * e.UsableFraction(), Reached: reached,

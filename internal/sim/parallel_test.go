@@ -84,7 +84,7 @@ func TestRunCurveRespectsBudgetExactly(t *testing.T) {
 		t.Fatal(err)
 	}
 	budget := uint64(checkEvery*3 + 137) // deliberately off the batch grid
-	if _, err := runCurve(e, nil, "clamp", survival, 0, budget); err != nil {
+	if _, err := runCurve(e, nil, "clamp", survival, 0, budget, checkEvery); err != nil {
 		t.Fatal(err)
 	}
 	if e.Writes() != budget {

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wlreviver/internal/obs"
+	"wlreviver/internal/trace"
+)
+
+// benchSharded builds a failure-free sharded chip: large enough that the
+// per-shard write loop dominates, endurance high enough that no block
+// dies within the bench, an observer attached so the merge barrier does
+// its real (event replay) work rather than the empty fast path.
+func benchSharded(b *testing.B, grid uint64, pool int, observe bool) *ShardedEngine {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.Blocks = 1 << 16
+	cfg.MeanEndurance = 1e12
+	if observe {
+		cfg.Observer = obs.NewMetrics()
+	}
+	se, err := NewShardedEngine(ShardedConfig{Grid: grid, Pool: pool}, cfg,
+		func(shard uint64, shardCfg Config) (trace.Generator, error) {
+			return trace.NewUniform(shardCfg.Blocks, shardCfg.Seed)
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return se
+}
+
+// BenchmarkEngineRunNSharded measures the sharded write loop against the
+// monolithic BenchmarkEngineRunN: the same 2^16-block healthy chip, cut
+// into 8 shards, at pool widths 1 and NumCPU. The pool=1 row prices the
+// sharding overhead (allocation arithmetic plus barrier); the ratio of
+// the two rows is the speedup the shard pool buys on this machine.
+func BenchmarkEngineRunNSharded(b *testing.B) {
+	for _, pool := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
+			se := benchSharded(b, 8, pool, false)
+			const batch = 1 << 12
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				n := uint64(batch)
+				if rem := b.N - i; rem < batch {
+					n = uint64(rem)
+				}
+				if se.RunN(n) != n {
+					b.Fatal("chip stopped mid-bench")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardMergeBarrier isolates the fixed per-batch cost of the
+// merge barrier: one write per shard per RunN call, so every iteration
+// is almost entirely quota allocation, fan-out/join and ordered event
+// replay into the chip observer. Real runs amortise this over
+// Scale.BatchWrites-sized batches; this bench prices the thing being
+// amortised.
+func BenchmarkShardMergeBarrier(b *testing.B) {
+	const grid = 8
+	se := benchSharded(b, grid, 1, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if se.RunN(grid) != grid {
+			b.Fatal("chip stopped mid-bench")
+		}
+	}
+}

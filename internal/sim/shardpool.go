@@ -1,0 +1,50 @@
+package sim
+
+import "sync"
+
+// This file is the intra-engine shard scheduler — with runner.go, one of
+// the only two non-test files in the repository allowed to start
+// goroutines (enforced by wlvet's confined-goroutines rule). runner.go
+// fans independent engines out across an experiment; runShards fans the
+// independent address-space shards of ONE engine out within a batch.
+// The same argument keeps both deterministic: the units share no mutable
+// state, and the caller merges their results in a fixed order after the
+// barrier, so scheduling can only change timing, never output.
+
+// runShards executes fn(0) … fn(n-1) on up to pool concurrent
+// goroutines and returns once all calls finished — the merge barrier of
+// the sharded batch loop. pool <= 1 (or n <= 1) runs the calls serially
+// on the calling goroutine, in index order; the sharded differential
+// tests pin that every pool width produces byte-identical simulations.
+//
+// Workers are spawned per call rather than kept in a persistent pool:
+// one batch is millions of writes at paper scale, so the spawn cost is
+// noise (see BenchmarkShardMergeBarrier), and there is no pool lifecycle
+// to leak or to tear down on every early return.
+func runShards(pool, n int, fn func(i int)) {
+	if pool <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if pool > n {
+		pool = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(pool)
+	for w := 0; w < pool; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

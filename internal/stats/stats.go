@@ -78,11 +78,19 @@ func (w *Welford) Merge(o Welford) {
 // CoVOfCounts computes the coefficient of variation of a slice of counts.
 // It is the metric the paper's Table I reports for per-block write counts.
 func CoVOfCounts(counts []uint64) float64 {
+	w := WelfordOfCounts(counts)
+	return w.CoV()
+}
+
+// WelfordOfCounts accumulates a count slice into a Welford so callers can
+// Merge moments across disjoint slices (e.g. the shards of a partitioned
+// chip) instead of concatenating the counts.
+func WelfordOfCounts(counts []uint64) Welford {
 	var w Welford
 	for _, c := range counts {
 		w.Add(float64(c))
 	}
-	return w.CoV()
+	return w
 }
 
 // MeanOfCounts returns the mean of a slice of counts.

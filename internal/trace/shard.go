@@ -1,0 +1,18 @@
+package trace
+
+// ShardSeed derives the workload seed for one shard of a partitioned
+// chip. A sharded run splits the chip's block space into equal shards,
+// each driven by an independent generator over its own sub-space; the
+// derived seed depends only on (base seed, shard index), never on how
+// many OS threads execute the shards, so the per-shard address streams —
+// and therefore every simulation output — are invariant under the
+// execution pool width.
+//
+// The mix is SplitMix64's finalizer over seed ^ f(shard); it decorrelates
+// adjacent shards even for adjacent base seeds.
+func ShardSeed(seed, shard uint64) uint64 {
+	z := seed ^ (shard+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

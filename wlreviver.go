@@ -147,6 +147,11 @@ func BenchScale() Scale { return sim.BenchScale() }
 // PaperScale approaches the paper's setup (4 MiB chip, 1e4 endurance).
 func PaperScale() Scale { return sim.PaperScale() }
 
+// Paper1GBScale is the paper's full 1 GB chip (2^24 blocks, 1e8
+// endurance) with a 64-way shard grid; runs must be budget-bounded via
+// MaxWritesPerBlock (full lifetime is ~1e15 writes).
+func Paper1GBScale() Scale { return sim.Paper1GBScale() }
+
 // Experiment result types.
 type (
 	// Table1Result reproduces Table I.
