@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	wlvet [-rules] [packages]
+//	wlvet [-rules] [-json] [-summary] [packages]
 //
 // The package arguments are accepted for command-line symmetry with go
 // vet ("go run ./cmd/wlvet ./..."), but the tool always analyzes whole
@@ -16,42 +16,62 @@
 //	path:line:col: message [rule]
 //
 // and can be silenced per site with `//lint:ignore <rule> <reason>` on
-// the offending line or the line above. scripts/verify.sh runs wlvet
-// between go vet and go build; see README.md "Static analysis".
+// the offending line or the line above. With -json each finding is one
+// NDJSON object ({"file","line","col","rule","msg"}) on stdout instead,
+// for problem matchers and editor integrations. With -summary a
+// per-rule findings/suppressed table goes to stderr after the findings,
+// including zero rows, so a green run still shows what was checked and
+// how many sites are running on suppressions. scripts/verify.sh runs
+// wlvet -summary between go vet and go build; see README.md "Static
+// analysis".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"wlreviver/internal/analysis"
 )
 
 func main() {
 	listRules := flag.Bool("rules", false, "list the rules and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as NDJSON objects on stdout")
+	summary := flag.Bool("summary", false, "print a per-rule findings/suppressed summary to stderr")
 	flag.Parse()
 
 	if *listRules {
 		for _, r := range analysis.Rules() {
-			fmt.Printf("%-22s %s\n", r.Name(), r.Doc())
+			fmt.Printf("%-26s %s\n", r.Name(), r.Doc())
 		}
 		return
 	}
 
-	if err := run(flag.Args()); err != nil {
+	if err := run(flag.Args(), *jsonOut, *summary); err != nil {
 		fmt.Fprintln(os.Stderr, "wlvet:", err)
 		os.Exit(2)
 	}
 }
 
-func run(args []string) error {
+// finding is the NDJSON shape of one diagnostic.
+type finding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func run(args []string, jsonOut, summary bool) error {
 	roots := args
 	if len(roots) == 0 {
 		roots = []string{"./..."}
 	}
-	findings := 0
+	var diags []analysis.Diagnostic
+	total := map[string]analysis.RuleStats{}
 	for _, root := range roots {
 		dir, err := resolveRoot(root)
 		if err != nil {
@@ -61,16 +81,52 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		for _, d := range analysis.Run(pkgs, analysis.Rules()) {
-			fmt.Println(d)
-			findings++
+		ds, stats := analysis.RunStats(pkgs, analysis.Rules())
+		diags = append(diags, ds...)
+		for name, s := range stats {
+			t := total[name]
+			t.Findings += s.Findings
+			t.Suppressed += s.Suppressed
+			total[name] = t
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "wlvet: %d finding(s)\n", findings)
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range diags {
+		if jsonOut {
+			if err := enc.Encode(finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Rule: d.Rule, Msg: d.Msg,
+			}); err != nil {
+				return err
+			}
+		} else {
+			fmt.Println(d)
+		}
+	}
+	if summary {
+		printSummary(total)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wlvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 	return nil
+}
+
+// printSummary writes the per-rule table to stderr, every rule on its
+// own row (zeros included) so a clean run still shows coverage, plus
+// any pseudo-rules (ignore-syntax, ckpt-annotation) that fired.
+func printSummary(total map[string]analysis.RuleStats) {
+	names := make([]string, 0, len(total))
+	for name := range total {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "wlvet summary: %-26s %8s %10s\n", "rule", "findings", "suppressed")
+	for _, name := range names {
+		s := total[name]
+		fmt.Fprintf(os.Stderr, "wlvet summary: %-26s %8d %10d\n", name, s.Findings, s.Suppressed)
+	}
 }
 
 // resolveRoot maps a package-pattern-ish argument to a directory.

@@ -28,6 +28,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -59,13 +60,29 @@ type File struct {
 }
 
 // Package groups the files of one directory (one Go package, test files
-// included) under a shared FileSet.
+// included) under a shared FileSet. Type information is computed lazily
+// by TypeInfo (typed.go) the first time a type-aware rule asks for it.
 type Package struct {
 	// Dir is the module-relative, slash-separated directory, e.g.
 	// "internal/sim". The module root is "".
 	Dir   string
 	Fset  *token.FileSet
 	Files []*File
+
+	// Mod links the package to the other packages of the same Load
+	// call for module-internal import resolution. nil for packages
+	// built by hand in tests; type-aware rules must tolerate that.
+	Mod *Module
+
+	// TypeErrors collects (non-fatal) type-checking errors from
+	// TypeInfo. Fixture trees import packages they don't carry, so
+	// errors here are expected and diagnostics never depend on them.
+	TypeErrors []error
+
+	typesPkg    *types.Package
+	typesInfo   *types.Info
+	typeChecked bool
+	checking    bool
 }
 
 // Rule is one determinism invariant. Check is called once per file and
@@ -85,12 +102,15 @@ type Rule interface {
 // Rules returns the repository's rule set, in diagnostic-name order.
 func Rules() []Rule {
 	return []Rule{
+		&CkptStateCoverage{},
 		&ConfinedGoroutines{},
 		&NoCkptMapOrder{},
 		&NoGlobalRand{},
 		&NoWallclock{},
+		&ObserverPurity{},
 		&OrderedMapOutput{},
 		&SeededConstructors{},
+		&TransitiveNondeterminism{},
 	}
 }
 
@@ -209,29 +229,67 @@ func Load(root string) ([]*Package, error) {
 		pkgs = append(pkgs, p)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	newModule(pkgs)
 	return pkgs, nil
+}
+
+// RuleStats counts one rule's outcomes over a RunStats call: findings
+// that survived, and findings silenced by a well-formed //lint:ignore.
+type RuleStats struct {
+	Findings   int
+	Suppressed int
 }
 
 // Run applies every rule to every file and returns the surviving
 // diagnostics, sorted by position. Findings carrying a well-formed
 // //lint:ignore are dropped; malformed ignore directives (missing rule
 // or missing reason) are reported under the "ignore-syntax" rule so a
-// bare ignore can never silently disable the gate.
+// bare ignore can never silently disable the gate. Malformed ckpt
+// field annotations are reported the same way under "ckpt-annotation"
+// (see ckptcover.go).
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	diags, _ := RunStats(pkgs, rules)
+	return diags
+}
+
+// RunStats is Run plus a per-rule tally. Every rule passed in gets an
+// entry (so a summary can show explicit zeros); the "ignore-syntax" and
+// "ckpt-annotation" pseudo-rules appear only when they fire.
+func RunStats(pkgs []*Package, rules []Rule) ([]Diagnostic, map[string]RuleStats) {
+	stats := make(map[string]RuleStats, len(rules))
+	for _, r := range rules {
+		stats[r.Name()] = RuleStats{}
+	}
+	count := func(rule string, suppressed bool) {
+		st := stats[rule]
+		if suppressed {
+			st.Suppressed++
+		} else {
+			st.Findings++
+		}
+		stats[rule] = st
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			sup := suppressions(pkg.Fset, f)
 			for _, bad := range sup.malformed {
 				diags = append(diags, bad)
+				count(bad.Rule, false)
+			}
+			for _, bad := range ckptAnnotationIssues(pkg.Fset, f) {
+				diags = append(diags, bad)
+				count(bad.Rule, false)
 			}
 			for _, r := range rules {
 				rule := r // capture for the closure
 				r.Check(f, func(node ast.Node, format string, args ...any) {
 					pos := pkg.Fset.Position(node.Pos())
 					if sup.covers(rule.Name(), pos.Line) {
+						count(rule.Name(), true)
 						return
 					}
+					count(rule.Name(), false)
 					diags = append(diags, Diagnostic{
 						Pos:  pos,
 						Rule: rule.Name(),
@@ -254,5 +312,5 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
+	return diags, stats
 }

@@ -165,6 +165,57 @@ func Bad() {
 	}
 }
 
+// TestMalformedCkptAnnotationIsReported pins the no-silent-disable
+// property for checkpoint annotations, mirroring the bare-ignore rule:
+// a ckpt:skip with no reason is itself a finding, and the field it
+// decorates stays subject to ckpt-state-coverage.
+func TestMalformedCkptAnnotationIsReported(t *testing.T) {
+	src := `package wear
+
+import "wlreviver/internal/ckpt"
+
+type Sparse struct {
+	cur uint64
+	raw []byte // ckpt:skip
+}
+
+func (s *Sparse) SaveState(e *ckpt.Encoder) { e.U64(s.cur) }
+
+func (s *Sparse) LoadState(d *ckpt.Decoder) error {
+	s.cur = d.U64()
+	return nil
+}
+`
+	pkgs := parseOne(t, "internal/wear/sparse.go", src)
+	diags := Run(pkgs, Rules())
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	got := strings.Join(rules, ",")
+	// Both the reasonless annotation and the uncovered field must
+	// surface: a malformed annotation never exempts anything.
+	if !strings.Contains(got, "ckpt-annotation") || !strings.Contains(got, "ckpt-state-coverage") {
+		t.Fatalf("want ckpt-annotation and ckpt-state-coverage findings, got %v", diags)
+	}
+}
+
+// TestUnknownCkptAnnotationIsReported: a typo like ckpt:derive must not
+// silently mean nothing.
+func TestUnknownCkptAnnotationIsReported(t *testing.T) {
+	src := `package wear
+
+type Sparse struct {
+	raw []byte // ckpt:derive rebuilt on load
+}
+`
+	pkgs := parseOne(t, "internal/wear/sparse.go", src)
+	diags := Run(pkgs, Rules())
+	if len(diags) != 1 || diags[0].Rule != "ckpt-annotation" {
+		t.Fatalf("want exactly one ckpt-annotation finding, got %v", diags)
+	}
+}
+
 // TestIgnoreWrongRuleDoesNotSuppress: a directive names exactly one
 // rule; it must not silence a different one.
 func TestIgnoreWrongRuleDoesNotSuppress(t *testing.T) {

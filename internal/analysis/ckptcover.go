@@ -1,0 +1,528 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Field annotations exempt a struct field from checkpoint coverage.
+// The syntax, in a field's doc or trailing comment, is
+//
+//	// ckpt:derived <reason>   — rebuilt from checkpointed state on load
+//	// ckpt:skip <reason>      — immutable config/wiring, never saved
+//
+// The reason is mandatory, exactly like //lint:ignore: an annotation
+// without one does not exempt the field and is itself reported under
+// the "ckpt-annotation" pseudo-rule.
+const (
+	ckptAnnPrefix = "ckpt:"
+	ckptDerived   = "ckpt:derived"
+	ckptSkip      = "ckpt:skip"
+)
+
+// CkptStateCoverage proves the crash-resume invariant structurally: for
+// every type with a SaveState method, every struct field must be
+// referenced by both SaveState and LoadState or carry a ckpt:derived /
+// ckpt:skip annotation, and the two methods must cover the same field
+// set. A field referenced only through sub-fields (e.U64(d.stats.Reads))
+// is resolved one level, like seeded-constructors resolves config
+// structs: every sub-field of a same-package struct without its own
+// Save/Load pair must be covered too, so deleting one field-encode line
+// always names the missing field. Resolution is type-aware (promoted
+// fields of embedded structs attribute to the embedded field) with a
+// syntactic fallback when type information is unavailable.
+type CkptStateCoverage struct{}
+
+// Name implements Rule.
+func (*CkptStateCoverage) Name() string { return "ckpt-state-coverage" }
+
+// Doc implements Rule.
+func (*CkptStateCoverage) Doc() string {
+	return "every field of a SaveState type is covered by both SaveState and LoadState or annotated ckpt:derived/ckpt:skip"
+}
+
+// Check implements Rule.
+func (*CkptStateCoverage) Check(f *File, report func(ast.Node, string, ...any)) {
+	if f.IsTest() {
+		return
+	}
+	encName, ok := f.ImportName(ckptImportPath)
+	if !ok {
+		return
+	}
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil {
+			continue
+		}
+		saveName := fd.Name.Name
+		if saveName != "SaveState" && saveName != "saveState" {
+			continue
+		}
+		if !takesCkptParam(fd, encName, "Encoder") {
+			continue
+		}
+		tname := recvTypeName(fd)
+		st := f.Pkg.LookupStruct(tname)
+		if tname == "" || st == nil {
+			continue
+		}
+		loadName := "LoadState"
+		if saveName == "saveState" {
+			loadName = "loadState"
+		}
+		loadFD, loadFile := findMethod(f.Pkg, tname, loadName)
+		if loadFD == nil {
+			report(fd.Name, "type %s has %s but no %s: checkpointed state cannot round-trip on resume", tname, saveName, loadName)
+			continue
+		}
+		saveRefs := fieldRefs(f, fd)
+		loadRefs := fieldRefs(loadFile, loadFD)
+		for _, field := range st.Fields.List {
+			if ann, wellFormed := fieldAnnotation(field); ann && wellFormed {
+				continue // exempt; malformed annotations are reported by ckptAnnotationIssues
+			}
+			for _, name := range fieldIdentNames(field) {
+				anchor := anchorNode(f, field, fd)
+				saveOK, saveMissing := sideCovered(f.Pkg, name, field.Type, saveRefs)
+				loadOK, loadMissing := sideCovered(f.Pkg, name, field.Type, loadRefs)
+				switch {
+				case !saveOK && !loadOK && saveRefs[name] == nil && loadRefs[name] == nil:
+					report(anchor, "field %s of %s is checkpointed in neither %s nor %s: save and restore it, or annotate it ckpt:derived/ckpt:skip with a reason", name, tname, saveName, loadName)
+				case saveRefs[name] != nil && loadRefs[name] == nil:
+					report(anchor, "field %s of %s is referenced in %s but not in %s: a resumed run would silently diverge", name, tname, saveName, loadName)
+				case saveRefs[name] == nil && loadRefs[name] != nil:
+					report(anchor, "field %s of %s is referenced in %s but not in %s: the restored value is never captured", name, tname, loadName, saveName)
+				default:
+					// Both sides touch the field; surface any sub-fields
+					// a side missed (one-level nested-struct expansion).
+					for _, sub := range saveMissing {
+						report(anchor, "field %s.%s of %s is not referenced in %s: sub-fields of a nested state struct must all be checkpointed", name, sub, tname, saveName)
+					}
+					for _, sub := range loadMissing {
+						report(anchor, "field %s.%s of %s is not referenced in %s: sub-fields of a nested state struct must all be restored", name, sub, tname, loadName)
+					}
+				}
+			}
+		}
+	}
+}
+
+// takesCkptParam reports whether fd has exactly one parameter of type
+// *<encName>.<typeName> (e.g. *ckpt.Encoder).
+func takesCkptParam(fd *ast.FuncDecl, encName, typeName string) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) > 1 {
+		return false
+	}
+	star, ok := unparen(params.List[0].Type).(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(star.X).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != typeName {
+		return false
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	return ok && id.Name == encName && id.Obj == nil
+}
+
+// findMethod locates a method by receiver type name in any non-test
+// file of the package, returning the declaration and its file.
+func findMethod(pkg *Package, typeName, methodName string) (*ast.FuncDecl, *File) {
+	for _, f := range pkg.Files {
+		if f.IsTest() {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != methodName {
+				continue
+			}
+			if recvTypeName(fd) == typeName {
+				return fd, f
+			}
+		}
+	}
+	return nil, nil
+}
+
+// hasSavePair reports whether the package declares a SaveState (or
+// saveState) method on the named type — nested fields of such a type
+// are that method's responsibility, not the outer one's.
+func hasSavePair(pkg *Package, typeName string) bool {
+	for _, m := range []string{"SaveState", "saveState"} {
+		if fd, _ := findMethod(pkg, typeName, m); fd != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldIdentNames returns the declared names of one struct field entry;
+// an embedded field contributes its type's base identifier.
+func fieldIdentNames(field *ast.Field) []string {
+	if len(field.Names) > 0 {
+		names := make([]string, 0, len(field.Names))
+		for _, n := range field.Names {
+			if n.Name != "_" {
+				names = append(names, n.Name)
+			}
+		}
+		return names
+	}
+	if name := baseTypeName(field.Type); name != "" {
+		return []string{name}
+	}
+	return nil
+}
+
+// baseTypeName unwraps *T, pkg.T and parentheses down to the base type
+// identifier. Returns "" for shapes that cannot carry methods/fields of
+// interest here (slices, maps, funcs, ...).
+func baseTypeName(t ast.Expr) string {
+	t = unparen(t)
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = unparen(st.X)
+	}
+	switch tt := t.(type) {
+	case *ast.Ident:
+		return tt.Name
+	case *ast.SelectorExpr:
+		return tt.Sel.Name
+	}
+	return ""
+}
+
+// localStructName resolves a field's type to a same-package named
+// struct for one-level expansion; qualified (other-package) types and
+// non-struct shapes return "".
+func localStructName(t ast.Expr) string {
+	t = unparen(t)
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = unparen(st.X)
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// fieldAnnotation scans a field's doc and trailing comments for a ckpt
+// annotation. annotated is true when any comment starts with "ckpt:";
+// wellFormed additionally requires a known kind and a reason.
+func fieldAnnotation(field *ast.Field) (annotated, wellFormed bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue
+			}
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ckptAnnPrefix) {
+				continue
+			}
+			fields := strings.Fields(text)
+			if (fields[0] == ckptDerived || fields[0] == ckptSkip) && len(fields) >= 2 {
+				return true, true
+			}
+			return true, false
+		}
+	}
+	return false, false
+}
+
+// ckptAnnotationIssues reports malformed ckpt annotations anywhere in
+// the file — an annotation with no reason or an unknown kind must not
+// be able to silently exempt a field, mirroring "ignore-syntax". Run
+// calls this for every file, independent of any rule's scope.
+func ckptAnnotationIssues(fset *token.FileSet, f *File) []Diagnostic {
+	var diags []Diagnostic
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue
+			}
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ckptAnnPrefix) {
+				continue
+			}
+			fields := strings.Fields(text)
+			kind := fields[0]
+			pos := fset.Position(c.Pos())
+			switch {
+			case kind != ckptDerived && kind != ckptSkip:
+				diags = append(diags, Diagnostic{
+					Pos:  pos,
+					Rule: "ckpt-annotation",
+					Msg:  "unknown annotation " + kind + ": want ckpt:derived <reason> or ckpt:skip <reason>",
+				})
+			case len(fields) < 2:
+				diags = append(diags, Diagnostic{
+					Pos:  pos,
+					Rule: "ckpt-annotation",
+					Msg:  "malformed annotation: the reason is mandatory (" + kind + " <reason>), and the field stays subject to ckpt-state-coverage until it has one",
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// anchorNode picks the node a finding is reported at: the field
+// declaration when it lives in the file being checked (so //lint:ignore
+// next to the field works), else the SaveState method name.
+func anchorNode(f *File, field *ast.Field, fd *ast.FuncDecl) ast.Node {
+	if f.Pkg.Fset.Position(field.Pos()).Filename == f.Path {
+		return field
+	}
+	return fd.Name
+}
+
+// fieldRef records how one method touches one top-level field: whole
+// references (d.f, d.f.Method(), d.f = x) cover the field entirely;
+// sub-references (d.f.g) cover only the named sub-field.
+type fieldRef struct {
+	whole bool
+	subs  map[string]bool
+}
+
+// sideCovered decides whether refs cover the field, expanding one level
+// into same-package nested structs when the side only touched
+// sub-fields. missing lists uncovered sub-field names in declaration
+// order.
+func sideCovered(pkg *Package, name string, fieldType ast.Expr, refs map[string]*fieldRef) (bool, []string) {
+	r := refs[name]
+	if r == nil {
+		return false, nil
+	}
+	if r.whole || len(r.subs) == 0 {
+		return r.whole, nil
+	}
+	inner := localStructName(fieldType)
+	if inner == "" {
+		return true, nil // other-package or unnamed type: subs are the best signal we have
+	}
+	innerStruct := pkg.LookupStruct(inner)
+	if innerStruct == nil || hasSavePair(pkg, inner) {
+		return true, nil
+	}
+	var missing []string
+	for _, sub := range innerStruct.Fields.List {
+		if ann, wellFormed := fieldAnnotation(sub); ann && wellFormed {
+			continue
+		}
+		for _, sn := range fieldIdentNames(sub) {
+			if !r.subs[sn] {
+				missing = append(missing, sn)
+			}
+		}
+	}
+	return len(missing) == 0, missing
+}
+
+// fieldRefs walks a Save/LoadState body and classifies every selector
+// chain rooted at the receiver. Type information (Selections) resolves
+// promoted fields of embedded structs and tells fields from methods;
+// when it is missing the walk falls back to parser object resolution
+// and the package's declared struct shapes, which never under-counts a
+// direct d.field reference.
+func fieldRefs(f *File, fd *ast.FuncDecl) map[string]*fieldRef {
+	refs := map[string]*fieldRef{}
+	if fd == nil || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return refs
+	}
+	recvID := fd.Recv.List[0].Names[0]
+	if recvID.Name == "_" {
+		return refs
+	}
+	_, info := f.Pkg.TypeInfo()
+	var recvObj types.Object
+	if info != nil {
+		recvObj = info.Defs[recvID]
+	}
+	st := f.Pkg.LookupStruct(recvTypeName(fd))
+	declared := map[string]bool{}
+	fieldTypeOf := map[string]ast.Expr{}
+	if st != nil {
+		for _, field := range st.Fields.List {
+			for _, n := range fieldIdentNames(field) {
+				declared[n] = true
+				fieldTypeOf[n] = field.Type
+			}
+		}
+	}
+	markWhole := func(name string) {
+		r := refs[name]
+		if r == nil {
+			r = &fieldRef{subs: map[string]bool{}}
+			refs[name] = r
+		}
+		r.whole = true
+	}
+	markSub := func(name, sub string) {
+		r := refs[name]
+		if r == nil {
+			r = &fieldRef{subs: map[string]bool{}}
+			refs[name] = r
+		}
+		r.subs[sub] = true
+	}
+
+	// A selector that is the X of a longer chain is classified as part
+	// of that chain, not on its own — otherwise d.stats.Reads would also
+	// register a whole-reference of stats and defeat sub-expansion.
+	consumed := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if inner, ok := unparen(sel.X).(*ast.SelectorExpr); ok {
+				consumed[inner] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// *recv = x restores every field at once.
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if star, ok := unparen(lhs).(*ast.StarExpr); ok {
+					if id, ok := unparen(star.X).(*ast.Ident); ok && isReceiverIdent(id, recvID, recvObj, info) {
+						for name := range declared {
+							markWhole(name)
+						}
+					}
+				}
+			}
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || consumed[sel] {
+			return true
+		}
+		chain, rooted := receiverChain(sel, recvID, recvObj, info)
+		if !rooted {
+			return true
+		}
+		// First link: the top-level field (or a method — not a state
+		// reference — or a promoted field of an embedded struct).
+		first := chain[0]
+		top := ""
+		promoted := false
+		if s := selectionOf(info, first); s != nil {
+			if s.Kind() != types.FieldVal {
+				return true
+			}
+			idx := s.Index()
+			if rs := receiverStruct(recvObj); rs != nil && idx[0] < rs.NumFields() {
+				top = rs.Field(idx[0]).Name()
+				promoted = len(idx) > 1
+			}
+		}
+		if top == "" {
+			// Syntactic fallback: only names declared on the struct
+			// count; method names fall through to "not a reference".
+			if declared[first.Sel.Name] {
+				top = first.Sel.Name
+			} else {
+				return true
+			}
+		}
+		if promoted || len(chain) == 1 {
+			markWhole(top)
+			return true
+		}
+		// Second link: a field of the nested struct is a sub-reference;
+		// a method call (d.src.State()) consumes the field wholesale.
+		second := chain[1]
+		if s := selectionOf(info, second); s != nil {
+			if s.Kind() == types.FieldVal && len(s.Index()) == 1 {
+				markSub(top, second.Sel.Name)
+			} else {
+				markWhole(top)
+			}
+			return true
+		}
+		if innerName := localStructName(fieldTypeOf[top]); innerName != "" {
+			if innerStruct := f.Pkg.LookupStruct(innerName); innerStruct != nil {
+				for _, sub := range innerStruct.Fields.List {
+					for _, sn := range fieldIdentNames(sub) {
+						if sn == second.Sel.Name {
+							markSub(top, sn)
+							return true
+						}
+					}
+				}
+			}
+		}
+		markWhole(top)
+		return true
+	})
+	return refs
+}
+
+// receiverChain walks a selector expression down to its base; when that
+// base is the method's receiver it returns the selector links from the
+// receiver outward (d.stats.Reads → [d.stats, d.stats.Reads]).
+func receiverChain(sel *ast.SelectorExpr, recvID *ast.Ident, recvObj types.Object, info *types.Info) ([]*ast.SelectorExpr, bool) {
+	var rev []*ast.SelectorExpr
+	cur := sel
+	for {
+		rev = append(rev, cur)
+		switch x := unparen(cur.X).(type) {
+		case *ast.SelectorExpr:
+			cur = x
+		case *ast.Ident:
+			if !isReceiverIdent(x, recvID, recvObj, info) {
+				return nil, false
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// isReceiverIdent reports whether id is a use of the method's receiver,
+// preferring type-checker identity and falling back to the parser's
+// object resolution (which handles shadowing within a single file).
+func isReceiverIdent(id *ast.Ident, recvID *ast.Ident, recvObj types.Object, info *types.Info) bool {
+	if info != nil && recvObj != nil {
+		if obj := info.Uses[id]; obj != nil {
+			return obj == recvObj
+		}
+	}
+	return id.Name == recvID.Name && id.Obj != nil && id.Obj == recvID.Obj
+}
+
+// selectionOf looks up the type checker's resolution of a selector,
+// tolerating absent info.
+func selectionOf(info *types.Info, sel *ast.SelectorExpr) *types.Selection {
+	if info == nil {
+		return nil
+	}
+	return info.Selections[sel]
+}
+
+// receiverStruct unwraps a receiver object's type down to its struct.
+func receiverStruct(recvObj types.Object) *types.Struct {
+	if recvObj == nil {
+		return nil
+	}
+	t := recvObj.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if s, ok := t.Underlying().(*types.Struct); ok {
+		return s
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestCoverageCatchesDeletedFieldEncode is the meta-regression for
+// ckpt-state-coverage: it proves the analyzer guards the real tree, not
+// just fixtures. For every SaveState/saveState method in internal/pcm,
+// internal/reviver and internal/wear it enumerates the single-line
+// statements that hold a field's only save-side reference, deletes each
+// one in a scratch copy of the tree, and asserts the rule reports a
+// finding naming exactly that field. If a refactor ever blinds the
+// analyzer — a loader regression, a selector-resolution bug — this
+// fails before the invariant silently stops being checked.
+func TestCoverageCatchesDeletedFieldEncode(t *testing.T) {
+	base := t.TempDir()
+	copyGoTree(t, "..", filepath.Join(base, "internal"))
+
+	pkgs, err := Load(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkgs, []Rule{&CkptStateCoverage{}}); len(diags) != 0 {
+		t.Fatalf("baseline tree is not clean under ckpt-state-coverage: %v", diags)
+	}
+
+	targets := map[string]bool{
+		"internal/pcm":     true,
+		"internal/reviver": true,
+		"internal/wear":    true,
+	}
+	type candidate struct {
+		path  string
+		line  int
+		field string
+		tname string
+	}
+	var cands []candidate
+	for _, pkg := range pkgs {
+		if !targets[pkg.Dir] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			encName, ok := f.ImportName(ckptImportPath)
+			if !ok {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				if fd.Name.Name != "SaveState" && fd.Name.Name != "saveState" {
+					continue
+				}
+				if !takesCkptParam(fd, encName, "Encoder") || len(fd.Recv.List[0].Names) == 0 {
+					continue
+				}
+				tname := recvTypeName(fd)
+				st := f.Pkg.LookupStruct(tname)
+				if st == nil {
+					continue
+				}
+				declared := map[string]bool{}
+				for _, field := range st.Fields.List {
+					for _, n := range fieldIdentNames(field) {
+						declared[n] = true
+					}
+				}
+				recvID := fd.Recv.List[0].Names[0]
+				_, info := pkg.TypeInfo()
+				var recvObj types.Object
+				if info != nil {
+					recvObj = info.Defs[recvID]
+				}
+				// Lines holding exactly one single-line statement are the
+				// deletable ones: removing the whole line keeps the file
+				// parseable.
+				stmtLines := map[int]bool{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n.(type) {
+					case *ast.ExprStmt, *ast.AssignStmt:
+						from := pkg.Fset.Position(n.Pos()).Line
+						if from == pkg.Fset.Position(n.End()).Line {
+							stmtLines[from] = true
+						}
+					}
+					return true
+				})
+				fieldLines := map[string]map[int]bool{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					chain, rooted := receiverChain(sel, recvID, recvObj, info)
+					if !rooted {
+						return true
+					}
+					top := chain[0].Sel.Name
+					if !declared[top] {
+						return true
+					}
+					if fieldLines[top] == nil {
+						fieldLines[top] = map[int]bool{}
+					}
+					fieldLines[top][pkg.Fset.Position(sel.Pos()).Line] = true
+					return true
+				})
+				for field, lines := range fieldLines {
+					if len(lines) != 1 {
+						continue // the field survives on another line; deleting one is not a drop
+					}
+					var line int
+					for l := range lines {
+						line = l
+					}
+					if !stmtLines[line] {
+						continue
+					}
+					cands = append(cands, candidate{f.Path, line, field, tname})
+				}
+			}
+		}
+	}
+	// The floor guards the enumerator itself: if a refactor stopped it
+	// finding encode lines, every mutation would vacuously "pass".
+	if len(cands) < 5 {
+		t.Fatalf("found only %d single-line field encodes across internal/{pcm,reviver,wear}; enumerator is broken", len(cands))
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].path != cands[j].path {
+			return cands[i].path < cands[j].path
+		}
+		return cands[i].line < cands[j].line
+	})
+
+	for _, c := range cands {
+		abspath := filepath.Join(base, c.path)
+		orig, err := os.ReadFile(abspath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(string(orig), "\n")
+		lines[c.line-1] = ""
+		mutated := strings.Join(lines, "\n")
+		if _, err := parser.ParseFile(token.NewFileSet(), c.path, mutated, 0); err != nil {
+			continue // the line was part of a larger construct after all
+		}
+		if err := os.WriteFile(abspath, []byte(mutated), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mpkgs, err := Load(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := Run(mpkgs, []Rule{&CkptStateCoverage{}})
+		want := "field " + c.field + " of " + c.tname
+		found := false
+		for _, d := range diags {
+			if d.Rule == "ckpt-state-coverage" && strings.Contains(d.Msg, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: deleting the only %s.%s encode produced no finding naming the field; got %v",
+				c.path, c.line, c.tname, c.field, diags)
+		}
+		if err := os.WriteFile(abspath, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// copyGoTree copies the non-test .go files of src into dst, skipping
+// testdata and this analyzer's own package (irrelevant to the targets
+// and expensive to re-parse on every mutation).
+func copyGoTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" || rel == "analysis" {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

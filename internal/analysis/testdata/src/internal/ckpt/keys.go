@@ -21,6 +21,26 @@ func (e *Encoder) WriteMap(m map[uint64]uint64) {
 	}
 }
 
+// Decoder is a stand-in for the real wire-format decoder.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+// U64 is a stand-in field reader.
+func (d *Decoder) U64() uint64 {
+	if d.pos >= len(d.buf) {
+		return 0
+	}
+	v := uint64(d.buf[d.pos])
+	d.pos++
+	return v
+}
+
+// KeysU64 mirrors the real helper's name; SaveSorted in the pcm fixture
+// iterates its result.
+func KeysU64(m map[uint64]uint64) []uint64 { return Keys(m) }
+
 // Keys is the sanctioned shape: the collection loop is exempt because
 // the function sorts before anything reaches the image.
 func Keys(m map[uint64]uint64) []uint64 {

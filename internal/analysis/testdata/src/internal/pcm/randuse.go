@@ -15,3 +15,15 @@ func Jitter() int {
 	//lint:ignore no-global-rand fixture demonstrates a justified suppression
 	return n + rand.Intn(8)
 }
+
+// Burst launders Jitter's draw behind a helper: the base rule owns the
+// draws inside Jitter, the transitive rule owns this call site.
+func Burst() int {
+	return 1 + Jitter() // want transitive-nondeterminism "call to Jitter transitively draws from math/rand"
+}
+
+// Sample records why one transitive draw is acceptable.
+func Sample() float64 {
+	//lint:ignore transitive-nondeterminism fixture demonstrates a justified suppression
+	return Noise()
+}

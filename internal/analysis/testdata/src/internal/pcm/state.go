@@ -19,6 +19,17 @@ func (d *Device) SaveState(e *ckpt.Encoder) {
 	}
 }
 
+// LoadState restores the remap table; ckpt-state-coverage pairs it with
+// SaveState above and sees remaps covered on both sides.
+func (d *Device) LoadState(dec *ckpt.Decoder) error {
+	d.remaps = map[uint64]uint64{dec.U64(): dec.U64()}
+	return nil
+}
+
+// Write is a stand-in engine mutator for the observer-purity fixture in
+// internal/sim.
+func (d *Device) Write(da uint64) { d.remaps[da] = da }
+
 // SaveSorted is the fix: iterate the sorted key slice the ckpt helpers
 // return. Ranging a slice never fires the rule.
 func SaveSorted(e *ckpt.Encoder, m map[uint64]uint64) {

@@ -1,0 +1,22 @@
+// Fixture: stand-in for the real deterministic generator so the fixture
+// tree type-checks; the type-aware rules resolve it exactly like the
+// real package.
+package rng
+
+// Source is a stand-in seeded generator.
+type Source struct{ s uint64 }
+
+// New returns a seeded source.
+func New(seed uint64) *Source { return &Source{s: seed} }
+
+// Uint64 advances the stream.
+func (s *Source) Uint64() uint64 {
+	s.s = s.s*6364136223846793005 + 1442695040888963407
+	return s.s
+}
+
+// State exposes the stream position for checkpointing.
+func (s *Source) State() uint64 { return s.s }
+
+// SetState restores the stream position.
+func (s *Source) SetState(v uint64) { s.s = v }

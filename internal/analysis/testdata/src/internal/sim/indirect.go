@@ -1,0 +1,29 @@
+// Fixture: transitive-nondeterminism — wrapping time.Now in helpers
+// does not launder it. The base rule owns the direct call; the
+// transitive rule flags each call site of a tainted helper, at any
+// depth, with a witness chain.
+package sim
+
+import "time"
+
+// stamp is the direct offender; the base rule owns this finding.
+func stamp() int64 {
+	return time.Now().UnixNano() // want no-wallclock "wall-clock call time.Now"
+}
+
+// wrap launders stamp behind one level of indirection.
+func wrap() int64 {
+	return stamp() // want transitive-nondeterminism "call to stamp transitively reads the wall clock"
+}
+
+// deep shows the taint crossing two levels: it never touches time
+// itself, but calling wrap still reaches the wall clock.
+func deep() int64 {
+	return wrap() // want transitive-nondeterminism "call to wrap transitively reads the wall clock"
+}
+
+// paced records why one transitive read is acceptable.
+func paced() int64 {
+	//lint:ignore transitive-nondeterminism fixture demonstrates a justified suppression
+	return wrap()
+}

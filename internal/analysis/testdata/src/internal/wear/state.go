@@ -1,0 +1,138 @@
+// Fixture: ckpt-state-coverage — per-direction misses, a field dropped
+// from both sides, annotated and suppressed exemptions, a missing
+// LoadState counterpart, one-level nested expansion, embedded
+// promotion, and the unexported saveState/loadState pairing.
+package wear
+
+import "wlreviver/internal/ckpt"
+
+// Gauge drops one field per direction and one entirely.
+type Gauge struct {
+	pos     uint64
+	peak    uint64 // want ckpt-state-coverage "field peak of Gauge is referenced in SaveState but not in LoadState"
+	floor   uint64 // want ckpt-state-coverage "field floor of Gauge is referenced in LoadState but not in SaveState"
+	dropped uint64 // want ckpt-state-coverage "field dropped of Gauge is checkpointed in neither SaveState nor LoadState"
+}
+
+// SaveState forgets floor and dropped.
+func (g *Gauge) SaveState(e *ckpt.Encoder) {
+	e.U64(g.pos)
+	e.U64(g.peak)
+}
+
+// LoadState forgets peak and dropped.
+func (g *Gauge) LoadState(d *ckpt.Decoder) error {
+	g.pos = d.U64()
+	g.floor = d.U64()
+	return nil
+}
+
+// Calib is the clean annotated case: derived and construction-time
+// fields carry annotations with reasons, so neither is a finding.
+type Calib struct {
+	scale uint64
+	tbl   []uint64 // ckpt:derived rebuilt from scale in LoadState
+	limit uint64   // ckpt:skip construction-time bound, fingerprinted by the engine
+}
+
+// SaveState captures only the live state.
+func (c *Calib) SaveState(e *ckpt.Encoder) { e.U64(c.scale) }
+
+// LoadState restores it and rebuilds the derived table.
+func (c *Calib) LoadState(d *ckpt.Decoder) error {
+	c.scale = d.U64()
+	c.tbl = make([]uint64, c.scale)
+	return nil
+}
+
+// Legacy pins the suppression path: the directive on the line above the
+// field exempts it with a recorded reason.
+type Legacy struct {
+	used uint64
+	//lint:ignore ckpt-state-coverage fixture demonstrates a justified suppression
+	spare uint64
+}
+
+// SaveState ignores spare; the suppression absorbs the finding.
+func (l *Legacy) SaveState(e *ckpt.Encoder) { e.U64(l.used) }
+
+// LoadState likewise.
+func (l *Legacy) LoadState(d *ckpt.Decoder) error {
+	l.used = d.U64()
+	return nil
+}
+
+// OneWay has no LoadState at all: nothing the checkpoint captures can
+// ever be restored.
+type OneWay struct {
+	seen uint64
+}
+
+// SaveState without a counterpart is itself the finding.
+func (o *OneWay) SaveState(e *ckpt.Encoder) { // want ckpt-state-coverage "type OneWay has SaveState but no LoadState"
+	e.U64(o.seen)
+}
+
+// tallyCounts is nested state reached one level deep from Meter.
+type tallyCounts struct {
+	reads  uint64
+	writes uint64
+}
+
+// Meter saves t.reads but forgets t.writes; the load side covers the
+// whole struct, so only the save side reports the sub-field.
+type Meter struct {
+	t tallyCounts // want ckpt-state-coverage "field t.writes of Meter is not referenced in SaveState"
+}
+
+// SaveState misses one sub-field of the nested struct.
+func (m *Meter) SaveState(e *ckpt.Encoder) {
+	e.U64(m.t.reads)
+}
+
+// LoadState reassigns the whole struct: full coverage on this side.
+func (m *Meter) LoadState(d *ckpt.Decoder) error {
+	m.t = tallyCounts{reads: d.U64()}
+	return nil
+}
+
+// counterCore is embedded state; promoted references count as coverage
+// of the embedded field itself.
+type counterCore struct {
+	hits   uint64
+	misses uint64
+}
+
+// Wrapped is clean: it reaches the embedded fields through promotion.
+type Wrapped struct {
+	counterCore
+}
+
+// SaveState uses promoted selectors only.
+func (w *Wrapped) SaveState(e *ckpt.Encoder) {
+	e.U64(w.hits)
+	e.U64(w.misses)
+}
+
+// LoadState likewise.
+func (w *Wrapped) LoadState(d *ckpt.Decoder) error {
+	w.hits = d.U64()
+	w.misses = d.U64()
+	return nil
+}
+
+// region mirrors the real tree's unexported saveState/loadState pairs;
+// case-matched pairing resolves them too, and the annotated derived
+// field stays exempt.
+type region struct {
+	key  uint64
+	salt uint64 // ckpt:derived recomputed from key in loadState
+}
+
+func (r *region) saveState(e *ckpt.Encoder) { e.U64(r.key) }
+
+func (r *region) loadState(d *ckpt.Decoder) error {
+	r.key = d.U64()
+	r.salt = r.key * 3
+	return nil
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TransitiveNondeterminism extends no-wallclock and no-global-rand
+// through one package's call graph: a helper that wraps time.Now or a
+// math/rand draw taints every same-package function that reaches it,
+// and each call to a tainted function is flagged with a witness chain
+// (caller -> helper -> time.Now). The direct use is the base rules'
+// finding; this rule makes sure wrapping it in a helper does not
+// launder it — a //lint:ignore on the helper justifies that one site,
+// not the callers. Scoping matches the base rules: wall-clock taint is
+// reported outside cmd/, rand taint inside internal/, never in tests.
+type TransitiveNondeterminism struct {
+	cache map[*Package]*taintSets
+}
+
+// taintSets maps each tainted function to a human-readable witness
+// chain ending at the nondeterministic call.
+type taintSets struct {
+	wall map[*types.Func]string
+	rand map[*types.Func]string
+}
+
+// Name implements Rule.
+func (*TransitiveNondeterminism) Name() string { return "transitive-nondeterminism" }
+
+// Doc implements Rule.
+func (*TransitiveNondeterminism) Doc() string {
+	return "calls to same-package helpers that transitively reach time.Now or math/rand are flagged like direct uses"
+}
+
+// Check implements Rule.
+func (r *TransitiveNondeterminism) Check(f *File, report func(ast.Node, string, ...any)) {
+	if f.IsTest() {
+		return
+	}
+	wallScope := !f.In("cmd")
+	randScope := f.In("internal")
+	if !wallScope && !randScope {
+		return
+	}
+	tpkg, info := f.Pkg.TypeInfo()
+	if tpkg == nil || info == nil {
+		return
+	}
+	taint := r.taintFor(f.Pkg, tpkg, info)
+	if len(taint.wall) == 0 && len(taint.rand) == 0 {
+		return
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := localCallee(call, info, tpkg)
+		if callee == nil {
+			return true
+		}
+		if chain, ok := taint.wall[callee]; ok && wallScope {
+			report(call, "call to %s transitively reads the wall clock (%s): simulation code must be deterministic", callee.Name(), chain)
+		}
+		if chain, ok := taint.rand[callee]; ok && randScope {
+			report(call, "call to %s transitively draws from math/rand (%s): use a seeded *rng.Source", callee.Name(), chain)
+		}
+		return true
+	})
+}
+
+// taintFor computes (and memoizes per package) which functions reach a
+// wall-clock read or a global rand draw.
+func (r *TransitiveNondeterminism) taintFor(pkg *Package, tpkg *types.Package, info *types.Info) *taintSets {
+	if r.cache == nil {
+		r.cache = map[*Package]*taintSets{}
+	}
+	if t, ok := r.cache[pkg]; ok {
+		return t
+	}
+	t := &taintSets{wall: map[*types.Func]string{}, rand: map[*types.Func]string{}}
+	r.cache[pkg] = t
+
+	// Seed order follows the (sorted) file walk so witness chains are
+	// deterministic when a caller reaches several seeds.
+	var wallOrder, randOrder []*types.Func
+	callers := map[*types.Func][]*types.Func{} // callee -> callers
+	for _, f := range pkg.Files {
+		if f.IsTest() {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := localCallee(call, info, tpkg); callee != nil {
+					callers[callee] = append(callers[callee], fn)
+					return true
+				}
+				// Direct nondeterministic call: seed the taint.
+				if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := unparen(sel.X).(*ast.Ident); ok {
+						if pn, ok := info.Uses[id].(*types.PkgName); ok {
+							path := pn.Imported().Path()
+							if path == "time" && wallclockFuncs[sel.Sel.Name] {
+								if _, seen := t.wall[fn]; !seen {
+									t.wall[fn] = fn.Name() + " -> time." + sel.Sel.Name
+									wallOrder = append(wallOrder, fn)
+								}
+							}
+							for _, rp := range randPkgs {
+								if path == rp {
+									if _, seen := t.rand[fn]; !seen {
+										t.rand[fn] = fn.Name() + " -> " + pn.Name() + "." + sel.Sel.Name
+										randOrder = append(randOrder, fn)
+									}
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Propagate taint from the seeds up through the callers.
+	for i, set := range []map[*types.Func]string{t.wall, t.rand} {
+		queue := wallOrder
+		if i == 1 {
+			queue = randOrder
+		}
+		for len(queue) > 0 {
+			callee := queue[0]
+			queue = queue[1:]
+			for _, caller := range callers[callee] {
+				if _, seen := set[caller]; seen || caller == callee {
+					continue
+				}
+				set[caller] = caller.Name() + " -> " + set[callee]
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return t
+}
+
+// localCallee resolves a call to a function or method defined in the
+// same package; calls into other packages (including the seeds' own
+// time./rand. calls) return nil.
+func localCallee(call *ast.CallExpr, info *types.Info, tpkg *types.Package) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok && fn.Pkg() == tpkg {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if s := info.Selections[fun]; s != nil && s.Kind() == types.MethodVal {
+			if fn, ok := s.Obj().(*types.Func); ok && fn.Pkg() == tpkg {
+				return fn
+			}
+		}
+	}
+	return nil
+}

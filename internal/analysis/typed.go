@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// modulePath is the import-path prefix of the module under analysis.
+// Both the real tree and the golden fixture tree under testdata/src use
+// it, so one importer serves both: "wlreviver/internal/ckpt" resolves to
+// whichever internal/ckpt directory the current Load call parsed.
+const modulePath = "wlreviver"
+
+// Module ties the packages of one Load call together so the type
+// checker can resolve module-internal imports against the same parsed
+// tree the syntactic rules see — testdata and vendor stay excluded, and
+// no go/packages (or build cache, or network) is involved.
+type Module struct {
+	byDir map[string]*Package
+}
+
+func newModule(pkgs []*Package) *Module {
+	m := &Module{byDir: make(map[string]*Package, len(pkgs))}
+	for _, p := range pkgs {
+		p.Mod = m
+		m.byDir[p.Dir] = p
+	}
+	return m
+}
+
+// dirFor maps a module-internal import path to its module-relative
+// directory ("wlreviver" → "", "wlreviver/internal/ckpt" →
+// "internal/ckpt").
+func dirFor(path string) (string, bool) {
+	if path == modulePath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, modulePath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// TypeInfo type-checks the package's non-test files on first use and
+// memoizes the result. The checker is deliberately tolerant: errors are
+// collected rather than fatal (TypeErrors), imports that cannot be
+// resolved become empty marker packages, and rules that consume the
+// returned Info must degrade gracefully when an entry is missing. A nil
+// package is returned when the directory holds only test files or when
+// the package is currently mid-check (import cycles cannot occur in
+// valid Go, but the guard keeps a broken tree from recursing).
+func (p *Package) TypeInfo() (*types.Package, *types.Info) {
+	if p.typeChecked || p.checking {
+		return p.typesPkg, p.typesInfo
+	}
+	p.checking = true
+	defer func() { p.checking = false; p.typeChecked = true }()
+
+	var files []*ast.File
+	for _, f := range p.Files {
+		if f.IsTest() {
+			continue
+		}
+		files = append(files, f.AST)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer:    &moduleImporter{mod: p.Mod},
+		FakeImportC: true,
+		Error:       func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	path := modulePath
+	if p.Dir != "" {
+		path = modulePath + "/" + p.Dir
+	}
+	// Check never panics with an Error handler set; a partially filled
+	// Info on a broken tree is exactly what the tolerant rules want.
+	tpkg, _ := conf.Check(path, p.Fset, files, info)
+	p.typesPkg, p.typesInfo = tpkg, info
+	return p.typesPkg, p.typesInfo
+}
+
+// moduleImporter resolves imports for the type checker: module-internal
+// paths recurse into the Load tree, everything else goes to the
+// process-wide standard-library importer.
+type moduleImporter struct {
+	mod *Module
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if dir, ok := dirFor(path); ok {
+		if mi.mod != nil {
+			if p := mi.mod.byDir[dir]; p != nil {
+				if tpkg, _ := p.TypeInfo(); tpkg != nil {
+					return tpkg, nil
+				}
+			}
+		}
+		// The directory is not part of this Load (fixture trees import
+		// packages they do not carry): hand back an empty marker so the
+		// checker keeps going.
+		return markerPackage(path), nil
+	}
+	return stdImport(path), nil
+}
+
+// stdImport resolves a standard-library path through importer.Default,
+// memoized process-wide (the importer reads compiler export data from
+// disk; every Load would otherwise pay for "fmt" again). When export
+// data is unavailable — stripped containers — it degrades to an empty
+// marker package. Rules must therefore never depend on stdlib *types*
+// for correctness: identifying time/math_rand call sites by package
+// path and selector name works identically with real or marker stdlib.
+func stdImport(path string) *types.Package {
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	if p, ok := stdCache[path]; ok {
+		return p
+	}
+	if stdImporter == nil {
+		stdImporter = importer.Default()
+	}
+	p, err := stdImporter.Import(path)
+	if err != nil || p == nil {
+		p = markerPackage(path)
+	}
+	stdCache[path] = p
+	return p
+}
+
+var (
+	stdMu       sync.Mutex
+	stdImporter types.Importer
+	stdCache    = map[string]*types.Package{}
+)
+
+// markerPackage builds an empty, complete package so the checker treats
+// unresolvable imports as "known but memberless" instead of aborting.
+func markerPackage(path string) *types.Package {
+	base := path
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	p := types.NewPackage(path, base)
+	p.MarkComplete()
+	return p
+}
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// recvTypeName returns the receiver type's base identifier for a method
+// declaration ("Device" for `func (d *Device) ...`), or "" when the
+// declaration has no receiver or an unexpected shape.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := unparen(fd.Recv.List[0].Type)
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = unparen(st.X)
+	}
+	switch tt := t.(type) {
+	case *ast.Ident:
+		return tt.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := unparen(tt.X).(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.IndexListExpr: // generic receiver T[P1, P2]
+		if id, ok := unparen(tt.X).(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}

@@ -45,8 +45,8 @@ func SizedConfig(capacityBytes, entryBytes, ways int) (Config, error) {
 // Cache is a set-associative LRU cache of uint64 keys. The zero value is
 // not usable; use New. It is not safe for concurrent use.
 type Cache struct {
-	cfg   Config
-	mask  uint64
+	cfg   Config   // ckpt:skip construction-time geometry, fingerprinted by the engine
+	mask  uint64   // ckpt:derived recomputed from cfg.Sets in New
 	keys  []uint64 // sets*ways entries
 	valid []bool
 	age   []uint64 // LRU stamps
@@ -54,6 +54,7 @@ type Cache struct {
 
 	hits, misses uint64
 
+	// ckpt:skip runtime wiring, reattached after restore
 	observer obs.Observer // nil unless attached; hit/miss probes
 }
 

@@ -48,18 +48,18 @@ type Stats struct {
 // DRM is the adapted protector. The partner region occupies device
 // blocks above the wear-leveling space, carved into page-sized frames.
 type DRM struct {
-	cfg Config
-	lv  wear.Leveler
-	be  *mc.Backend
-	os  *osmodel.Model
+	cfg Config         // ckpt:skip construction-time config, fingerprinted by the engine
+	lv  wear.Leveler   // ckpt:skip wiring; the leveler checkpoints itself
+	be  *mc.Backend    // ckpt:skip wiring; the backend checkpoints itself
+	os  *osmodel.Model // ckpt:skip wiring; the OS model checkpoints itself
 
-	pageBlocks uint64
+	pageBlocks uint64 // ckpt:derived recomputed from cfg in New
 	// partner[page] is the partner frame's base DA for a paired primary
 	// page (page is a DA-space page index: DA / pageBlocks).
 	partner map[uint64]uint64
 	// freeFrames are unpaired reserved frames' base DAs.
 	freeFrames []uint64
-	reserved   uint64
+	reserved   uint64 // ckpt:derived recomputed from cfg in New
 	st         Stats
 }
 

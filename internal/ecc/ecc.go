@@ -33,9 +33,9 @@ type Scheme interface {
 // replacement cells at them. ECP6 (61 bits per 512-bit group) is the
 // paper's base scheme; ECP1 is PAYG's local layer.
 type ECP struct {
-	name     string
-	capacity int
-	bits     float64
+	name     string  // ckpt:skip construction-time label
+	capacity int     // ckpt:skip construction-time capacity, fingerprinted by the engine
+	bits     float64 // ckpt:skip construction-time overhead constant
 	used     []uint16
 	deadFlag []bool
 }
@@ -141,8 +141,8 @@ func (c PAYGConfig) Validate() error {
 // cell failure arrives and neither its local layer, its set pool, nor the
 // overflow pool has a free entry.
 type PAYG struct {
-	cfg       PAYGConfig
-	numBlocks uint64
+	cfg       PAYGConfig // ckpt:skip construction-time config, fingerprinted by the engine
+	numBlocks uint64     // ckpt:skip construction-time geometry, fingerprinted by the engine
 
 	localUsed []uint16
 	setFree   []int32
@@ -241,9 +241,9 @@ var (
 // block, 5 + 29 + 32 = 66 bits; the constructor computes the general
 // form.
 type SAFER struct {
-	name     string
-	capacity int
-	bits     float64
+	name     string  // ckpt:skip construction-time label
+	capacity int     // ckpt:skip construction-time capacity, fingerprinted by the engine
+	bits     float64 // ckpt:skip construction-time overhead constant
 	used     []uint16
 	deadFlag []bool
 }

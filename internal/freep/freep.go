@@ -59,15 +59,15 @@ type Stats struct {
 // device blocks above the wear-leveling space: DA layout is
 // [0, lv.NumDAs()) for the leveler, then ReservedSlots() slot blocks.
 type FREEp struct {
-	cfg Config
-	lv  wear.Leveler
-	be  *mc.Backend
-	os  *osmodel.Model
+	cfg Config         // ckpt:skip construction-time config, fingerprinted by the engine
+	lv  wear.Leveler   // ckpt:skip wiring; the leveler checkpoints itself
+	be  *mc.Backend    // ckpt:skip wiring; the backend checkpoints itself
+	os  *osmodel.Model // ckpt:skip wiring; the OS model checkpoints itself
 
 	slots    []uint64          // free slot DAs, allocated from the end
 	remap    map[uint64]uint64 // failed DA -> slot DA
 	pairBase map[uint64]int    // slot DA -> failed-cell count when paired
-	reserved uint64
+	reserved uint64            // ckpt:derived recomputed from cfg in New
 	st       Stats
 }
 

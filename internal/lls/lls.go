@@ -121,14 +121,14 @@ type group struct {
 // from the software space page-for-page when a chunk is reserved; see
 // package comment and DESIGN.md for this accounting).
 type LLS struct {
-	cfg Config
-	lv  wear.Leveler
-	be  *mc.Backend
-	os  *osmodel.Model
+	cfg Config         // ckpt:skip construction-time config, fingerprinted by the engine
+	lv  wear.Leveler   // ckpt:skip wiring; the leveler checkpoints itself
+	be  *mc.Backend    // ckpt:skip wiring; the backend checkpoints itself
+	os  *osmodel.Model // ckpt:skip wiring; the OS model checkpoints itself
 
 	groups      []group
-	chunkBlocks uint64
-	maxChunks   uint64
+	chunkBlocks uint64 // ckpt:derived recomputed from cfg in New
+	maxChunks   uint64 // ckpt:derived recomputed from cfg in New
 	nextBackup  uint64 // next unallocated backup DA
 	st          Stats
 }

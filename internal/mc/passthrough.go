@@ -17,9 +17,9 @@ import (
 // believe that all memory blocks fail", §I-B). This cascade is what the
 // paper's lifetime comparisons measure against.
 type Passthrough struct {
-	lv wear.Leveler
-	be *Backend
-	os *osmodel.Model
+	lv wear.Leveler   // ckpt:skip wiring; the leveler checkpoints itself
+	be *Backend       // ckpt:skip wiring; the backend checkpoints itself
+	os *osmodel.Model // ckpt:skip wiring; the OS model checkpoints itself
 
 	crippled     bool
 	requests     uint64

@@ -33,14 +33,15 @@ type Relocation struct {
 // a page is BlocksPerPage consecutive blocks (64 for 4 KB pages of 64 B
 // blocks).
 type Model struct {
-	blocksPerPage uint64
-	numPages      uint64
+	blocksPerPage uint64 // ckpt:skip construction-time geometry, fingerprinted by the engine
+	numPages      uint64 // ckpt:skip construction-time geometry, validated on restore
 
 	virtToPhys []uint32 // virtual page -> physical page
 	retired    []bool
 	retiredCnt uint64
 	donorCur   uint64 // round-robin cursor for choosing donor pages
 
+	// ckpt:skip runtime wiring, reattached after restore
 	observer obs.Observer // nil unless attached; PageRetired probe
 }
 

@@ -103,7 +103,7 @@ func (a AccessStats) Total() uint64 { return a.Reads + a.Writes }
 // simulator is single-threaded per device, which mirrors a single memory
 // controller and keeps the hot path allocation- and lock-free.
 type Device struct {
-	cfg Config
+	cfg Config // ckpt:skip construction-time config, fingerprinted by the engine
 
 	wear        []uint64  // writes serviced per block
 	nextFail    []uint64  // wear threshold at which the next cell fails
@@ -115,7 +115,7 @@ type Device struct {
 
 	stats     AccessStats
 	deadCount uint64
-	sigma     float64
+	sigma     float64 // ckpt:derived recomputed from cfg.Lifetime in NewDevice
 
 	// Failure-horizon fast path: horizon counts device writes guaranteed
 	// not to trigger a cell failure anywhere. A cell fails on the write
@@ -129,6 +129,7 @@ type Device struct {
 	horizon  uint64
 	rescanIn uint64
 
+	// ckpt:skip runtime wiring, reattached after restore
 	observer obs.Observer // nil unless attached; CellFailed probe
 }
 

@@ -124,12 +124,13 @@ type pendingOp struct {
 
 // Reviver is the WL-Reviver framework instance for one chip.
 type Reviver struct {
-	cfg Config
-	lv  wear.Leveler
-	be  *mc.Backend
-	os  *osmodel.Model
+	cfg Config         // ckpt:skip construction-time config, fingerprinted by the engine
+	lv  wear.Leveler   // ckpt:skip wiring; the leveler checkpoints itself
+	be  *mc.Backend    // ckpt:skip wiring; the backend checkpoints itself
+	os  *osmodel.Model // ckpt:skip wiring; the OS model checkpoints itself
 
-	ptr     map[uint64]uint64 // failed DA -> virtual shadow PA
+	ptr map[uint64]uint64 // failed DA -> virtual shadow PA
+	// ckpt:derived inverse of ptr, rebuilt in LoadState
 	inv     map[uint64]uint64 // virtual shadow PA -> failed DA
 	ptrSlot map[uint64]uint64 // shadow PA -> pointer-section PA holding its inverse pointer
 	avail   []uint64          // unlinked reserved PAs (the register pair + skip refinement)
@@ -145,7 +146,7 @@ type Reviver struct {
 	lastWritePA uint64
 	lastWriteOK bool
 
-	shadowPerPage uint64
+	shadowPerPage uint64 // ckpt:derived recomputed from the page geometry in New
 	st            Stats
 }
 

@@ -10,8 +10,8 @@ import (
 // a small fixed set of addresses forever. Without wear leveling it
 // destroys the targeted blocks in MeanEndurance writes.
 type Hammer struct {
-	n     uint64
-	addrs []uint64
+	n     uint64   // ckpt:skip construction-time block count, validated on restore
+	addrs []uint64 // ckpt:skip construction-time target list, validated on restore
 	pos   int
 }
 
@@ -67,9 +67,9 @@ func (h *Hammer) NextBatch(dst []uint64) {
 // the remapping has not yet rotated the hot lines away. Reference [19] of
 // the paper.
 type BirthdayParadox struct {
-	n       uint64
-	setSize int
-	burst   uint64
+	n       uint64 // ckpt:skip construction-time block count, fingerprinted by the registry
+	setSize int    // ckpt:skip construction-time set size, validated on restore
+	burst   uint64 // ckpt:skip construction-time burst length, validated on restore
 	src     *rng.Source
 	set     []uint64
 	left    uint64

@@ -53,9 +53,9 @@ func WriteTrace(w io.Writer, g Generator, n uint64) error {
 // the start when exhausted (matching the paper's "run multiple times"
 // replay).
 type Replay struct {
-	name      string
-	numBlocks uint64
-	records   []uint64
+	name      string   // ckpt:skip construction-time label
+	numBlocks uint64   // ckpt:skip construction-time geometry from the trace header
+	records   []uint64 // ckpt:skip the immutable trace itself, validated on restore
 	pos       int
 }
 

@@ -49,8 +49,8 @@ type BatchGenerator interface {
 
 // Alias is Walker/Vose alias-method sampler over n weighted outcomes.
 type Alias struct {
-	prob  []float64
-	alias []uint32
+	prob  []float64 // ckpt:derived rebuilt from the weights the owner reconstructs
+	alias []uint32  // ckpt:derived rebuilt from the weights the owner reconstructs
 	src   *rng.Source
 }
 
@@ -162,7 +162,7 @@ type WeightedConfig struct {
 
 // Weighted is a stationary weighted-random write stream.
 type Weighted struct {
-	cfg   WeightedConfig
+	cfg   WeightedConfig // ckpt:skip construction-time config, fingerprinted by the registry
 	alias *Alias
 	src   *rng.Source
 }
@@ -310,7 +310,7 @@ func calibrateWeights(logW []float64, targetCoV float64) []float64 {
 
 // Uniform writes every block with equal probability.
 type Uniform struct {
-	n   uint64
+	n   uint64 // ckpt:skip construction-time block count, fingerprinted by the registry
 	src *rng.Source
 }
 

@@ -19,11 +19,11 @@ import (
 // it unmodified, which the tests use as further evidence of generality.
 type RegionedStartGap struct {
 	regions    []*StartGap
-	rand       Randomizer
-	numPAs     uint64
-	regionSize uint64
-	daStride   uint64 // regionSize + 1 (each region's private gap line)
-	shift      uint
+	rand       Randomizer // ckpt:skip construction-time Feistel network, a pure function of the seed
+	numPAs     uint64     // ckpt:skip construction-time geometry, validated on restore
+	regionSize uint64     // ckpt:skip construction-time geometry, validated on restore
+	daStride   uint64     // ckpt:derived regionSize + 1 (each region's private gap line)
+	shift      uint       // ckpt:derived log2(regionSize), recomputed in New
 }
 
 // RegionedStartGapConfig configures the scheme.

@@ -18,7 +18,7 @@ import (
 // either it or its swap partner (ra ⊕ kPrev ⊕ kCur) has been passed by
 // the pointer; remapped addresses use kCur, the rest still use kPrev.
 type srRegion struct {
-	size  uint64 // power of two
+	size  uint64 // ckpt:skip construction-time region size, validated on restore
 	kPrev uint64
 	kCur  uint64
 	rp    uint64 // next address to refresh; size means round complete
@@ -31,6 +31,7 @@ type srRegion struct {
 	// key only takes effect as addresses are swapped), and each swap
 	// re-keys exactly the pair (ra, partner) just processed. nil when the
 	// region is too large to memoize.
+	// ckpt:derived memo table rebuilt from kPrev/kCur/rp in loadState
 	tbl []uint32
 }
 
@@ -134,14 +135,15 @@ type SecurityRefreshConfig struct {
 // (single- or two-level). Unlike Start-Gap it needs no gap block: its
 // migrations are swaps (NumDAs == NumPAs).
 type SecurityRefresh struct {
-	cfg    SecurityRefreshConfig
+	cfg    SecurityRefreshConfig // ckpt:skip construction-time config, fingerprinted by the engine
 	outer  *srRegion
 	inner  []*srRegion
-	shift  uint
-	mask   uint64
+	shift  uint   // ckpt:derived log2(inner region size), recomputed in New
+	mask   uint64 // ckpt:derived inner-region mask, recomputed in New
 	outerW uint64
 	innerW []uint64
 
+	// ckpt:skip runtime wiring, reattached after restore
 	observer obs.Observer // nil unless attached; RegionSwapped probe
 }
 

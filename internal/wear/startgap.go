@@ -26,15 +26,16 @@ import (
 // streams — provided the mapping keeps functioning, which is exactly what
 // fails on the first block failure without WL-Reviver.
 type StartGap struct {
-	n      uint64 // number of data blocks (PA space size)
+	n      uint64 // ckpt:skip construction-time PA-space size, validated on restore
 	start  uint64
 	gap    uint64
-	rand   Randomizer
-	period uint64
-	writes uint64 // writes since last gap movement
+	rand   Randomizer // ckpt:skip construction-time Feistel network, a pure function of the seed
+	period uint64     // ckpt:skip construction-time ψ, fingerprinted by the engine
+	writes uint64     // writes since last gap movement
 
 	gapMoves uint64
 
+	// ckpt:skip runtime wiring, reattached after restore
 	observer obs.Observer // nil unless attached; GapMoved probe
 }
 

@@ -22,8 +22,10 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go run ./cmd/wlvet ./..."
-go run ./cmd/wlvet ./...
+# -summary prints the per-rule findings/suppressed table even when the
+# tree is clean, so every gate run shows which invariants were checked.
+echo "== go run ./cmd/wlvet -summary ./..."
+go run ./cmd/wlvet -summary ./...
 
 echo "== go build ./..."
 go build ./...
