@@ -1,6 +1,6 @@
 # Convenience targets; scripts/verify.sh is the canonical gate.
 
-.PHONY: build test verify bench microbench paper fuzz
+.PHONY: build test verify bench benchgate bench-baseline microbench paper fuzz
 
 build:
 	go build ./...
@@ -33,6 +33,20 @@ bench:
 			-shard-grid 8 -shards $$n -timing=false \
 			-benchjson BENCH_$$stamp-shards$$n.json >/dev/null || exit 1; \
 	done
+
+# CI perf gate: rerun the tiny-scale sweep and fail if total writes/sec
+# falls more than 10% below the committed baseline. The baseline is
+# hardware-specific — after a deliberate perf change (or a runner-class
+# change) regenerate it with `make bench-baseline` and commit the diff;
+# the benchdiff table this prints shows exactly which experiment moved.
+benchgate:
+	go run ./cmd/paper -scale tiny -exp all -timing=false \
+		-benchjson BENCH_gate.json >/dev/null
+	go run ./cmd/paper -benchdiff -gate 10 bench/ci-baseline.json BENCH_gate.json
+
+bench-baseline:
+	go run ./cmd/paper -scale tiny -exp all -timing=false \
+		-benchjson bench/ci-baseline.json >/dev/null
 
 # Go-test microbenchmarks (result-shape metrics + hot-path ns/op).
 microbench:

@@ -81,6 +81,7 @@ func run() error {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	benchJSON := flag.String("benchjson", "", "write per-experiment wall-clock and writes/sec as JSON to this file")
 	benchDiff := flag.Bool("benchdiff", false, "compare two -benchjson files given as positional arguments and exit")
+	gatePct := flag.Float64("gate", 0, "with -benchdiff: fail when new total writes/sec regresses more than this percent vs old (0 disables)")
 	metricsPath := flag.String("metrics", "", "observe every engine and write event counters and snapshots as JSON to this file")
 	progress := flag.Bool("progress", false, "stream per-engine snapshot lines to stderr while experiments run")
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint each engine every N simulated writes (0: only at -checkpoint-dir job completion)")
@@ -94,7 +95,7 @@ func run() error {
 		if flag.NArg() != 2 {
 			return fmt.Errorf("-benchdiff needs exactly two arguments: old.json new.json")
 		}
-		return runBenchDiff(flag.Arg(0), flag.Arg(1))
+		return runBenchDiff(flag.Arg(0), flag.Arg(1), *gatePct)
 	}
 
 	var scale wlreviver.Scale
@@ -316,8 +317,15 @@ func readBenchReport(path string) (*benchReport, error) {
 
 // runBenchDiff compares two -benchjson reports experiment by experiment,
 // printing wall-clock and throughput deltas. A speedup above 1 means the
-// new run is faster (lower seconds, higher writes/sec).
-func runBenchDiff(oldPath, newPath string) error {
+// new run is faster (lower seconds, higher writes/sec). A nonzero
+// gatePct turns the comparison into a CI gate: the run fails when the
+// new report's total writes/sec falls more than gatePct percent below
+// the old one. The gate looks only at the sweep total — per-experiment
+// throughput at tiny scale is too noisy on shared runners to gate on —
+// so a genuine hot-path regression still trips it while one slow
+// experiment offset by a fast one does not hide (the totals weight by
+// wall-clock, which is what CI budgets care about).
+func runBenchDiff(oldPath, newPath string, gatePct float64) error {
 	oldR, err := readBenchReport(oldPath)
 	if err != nil {
 		return err
@@ -368,6 +376,16 @@ func runBenchDiff(oldPath, newPath string) error {
 		}
 	}
 	row("total", oldR.TotalSeconds, newR.TotalSeconds, oldR.WritesPerSec, newR.WritesPerSec)
+	if gatePct > 0 && oldR.WritesPerSec > 0 {
+		floor := oldR.WritesPerSec * (1 - gatePct/100)
+		if newR.WritesPerSec < floor {
+			return fmt.Errorf("perf gate: total %.0f writes/sec is %.1f%% below baseline %.0f (limit %g%%)",
+				newR.WritesPerSec, 100*(1-newR.WritesPerSec/oldR.WritesPerSec),
+				oldR.WritesPerSec, gatePct)
+		}
+		fmt.Printf("# perf gate: ok (total %.0f w/s vs baseline %.0f, limit -%g%%)\n",
+			newR.WritesPerSec, oldR.WritesPerSec, gatePct)
+	}
 	return nil
 }
 

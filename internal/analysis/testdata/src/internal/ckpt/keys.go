@@ -21,6 +21,21 @@ func (e *Encoder) WriteMap(m map[uint64]uint64) {
 	}
 }
 
+// U64s is a stand-in bulk column writer; the reviver arena fixture's
+// SaveState feeds its SoA sections through it.
+func (e *Encoder) U64s(v []uint64) {
+	for _, x := range v {
+		e.U64(x)
+	}
+}
+
+// U32s is the narrow-column counterpart.
+func (e *Encoder) U32s(v []uint32) {
+	for _, x := range v {
+		e.U64(uint64(x))
+	}
+}
+
 // Decoder is a stand-in for the real wire-format decoder.
 type Decoder struct {
 	buf []byte
@@ -36,6 +51,12 @@ func (d *Decoder) U64() uint64 {
 	d.pos++
 	return v
 }
+
+// U64s is the bulk column reader.
+func (d *Decoder) U64s() []uint64 { return []uint64{d.U64()} }
+
+// U32s is the narrow-column reader.
+func (d *Decoder) U32s() []uint32 { return []uint32{uint32(d.U64())} }
 
 // KeysU64 mirrors the real helper's name; SaveSorted in the pcm fixture
 // iterates its result.

@@ -1,0 +1,38 @@
+// Fixture: ckpt-state-coverage over an arena-shaped state — the
+// index-linked chain arena persists as parallel SoA sections (node
+// columns plus the free-list head). Dropping any one section from the
+// encoder is the checkpoint bug this golden pins as caught: the image
+// still decodes something, so only the structural rule notices.
+package reviver
+
+import "wlreviver/internal/ckpt"
+
+// chainArena mirrors the real remap arena's persisted layout: parallel
+// node columns, the free-list head, and a lookup index rebuilt from the
+// columns on load.
+type chainArena struct {
+	pas      []uint64
+	das      []uint64
+	nexts    []uint32          // want ckpt-state-coverage "field nexts of chainArena is referenced in LoadState but not in SaveState"
+	freeHead uint32            // want ckpt-state-coverage "field freeHead of chainArena is checkpointed in neither SaveState nor LoadState"
+	byDA     map[uint64]uint32 // ckpt:derived rebuilt from the das column on load
+}
+
+// SaveState drops the nexts column — exactly the missing arena section
+// a stale encoder would emit — and forgets freeHead entirely.
+func (a *chainArena) SaveState(e *ckpt.Encoder) {
+	e.U64s(a.pas)
+	e.U64s(a.das)
+}
+
+// LoadState still expects every section; the mismatch is the finding.
+func (a *chainArena) LoadState(d *ckpt.Decoder) error {
+	a.pas = d.U64s()
+	a.das = d.U64s()
+	a.nexts = d.U32s()
+	a.byDA = make(map[uint64]uint32, len(a.das))
+	for i, da := range a.das {
+		a.byDA[da] = uint32(i)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// Package bitset provides a flat, allocation-free bit vector used for
+// per-block boolean state (dead blocks, materialized failure schedules,
+// ECC dead flags) at device scale, where a []bool would cost 8x the
+// memory and push useful data out of cache on the hot write path.
+package bitset
+
+import "math/bits"
+
+// Bits is a bit vector backed by a []uint64; bit i lives in word i>>6.
+// Length is fixed at construction (New); Test/Set/Clear panic on
+// out-of-range indices exactly as a slice index would.
+type Bits []uint64
+
+// New returns a Bits able to hold n bits, all clear.
+func New(n uint64) Bits { return make(Bits, (n+63)/64) }
+
+// Test reports whether bit i is set.
+func (b Bits) Test(i uint64) bool { return b[i>>6]>>(i&63)&1 != 0 }
+
+// Set sets bit i.
+func (b Bits) Set(i uint64) { b[i>>6] |= 1 << (i & 63) }
+
+// Clear clears bit i.
+func (b Bits) Clear(i uint64) { b[i>>6] &^= 1 << (i & 63) }
+
+// Count returns the number of set bits.
+func (b Bits) Count() uint64 {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return uint64(n)
+}
+
+// Words exposes the backing words for bulk serialization. The bit at
+// index i is word i>>6, bit i&63; trailing pad bits are always zero as
+// long as callers stay within the constructed length.
+func (b Bits) Words() []uint64 { return b }

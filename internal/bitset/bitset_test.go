@@ -1,0 +1,55 @@
+package bitset
+
+import "testing"
+
+func TestBitsBasics(t *testing.T) {
+	for _, n := range []uint64{1, 63, 64, 65, 1000} {
+		b := New(n)
+		if got, want := len(b), int((n+63)/64); got != want {
+			t.Fatalf("New(%d): %d words, want %d", n, got, want)
+		}
+		for i := uint64(0); i < n; i++ {
+			if b.Test(i) {
+				t.Fatalf("New(%d): bit %d set", n, i)
+			}
+		}
+	}
+
+	b := New(200)
+	for _, i := range []uint64{0, 1, 63, 64, 127, 128, 199} {
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	b.Set(63) // idempotent
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count after re-Set = %d, want 7", got)
+	}
+	b.Clear(63)
+	if b.Test(63) {
+		t.Fatal("bit 63 still set after Clear")
+	}
+	if got := b.Count(); got != 6 {
+		t.Fatalf("Count after Clear = %d, want 6", got)
+	}
+	if b.Test(62) || !b.Test(64) {
+		t.Fatal("Clear disturbed neighbouring bits")
+	}
+	if got := len(b.Words()); got != 4 {
+		t.Fatalf("Words: %d words, want 4", got)
+	}
+}
+
+func TestBitsOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Test past the constructed length did not panic")
+		}
+	}()
+	b := New(64)
+	b.Test(64)
+}

@@ -34,7 +34,9 @@ import (
 // Version is the on-disk format version. Bump it whenever any section's
 // field layout changes; old files are then rejected up front instead of
 // being misread (see EXPERIMENTS.md § Checkpoint format for the policy).
-const Version = 1
+// Version 2: the device section switched to bitset/sparse-index failure
+// tracking and the reviver section to the flat shadow-node arena.
+const Version = 2
 
 var magic = [4]byte{'W', 'L', 'C', 'K'}
 
@@ -104,6 +106,22 @@ func (e *Encoder) need() {
 	}
 }
 
+// alloc extends the buffer by n bytes in one step and returns the region
+// to fill. Bulk array writers stream elements straight into it, so a
+// paper-scale section costs one (amortized) growth instead of per-element
+// append checks and no intermediate []byte staging.
+func (e *Encoder) alloc(n int) []byte {
+	e.need()
+	if cap(e.buf)-len(e.buf) < n {
+		grown := make([]byte, len(e.buf), len(e.buf)+n+len(e.buf)/2)
+		copy(grown, e.buf)
+		e.buf = grown
+	}
+	off := len(e.buf)
+	e.buf = e.buf[:off+n]
+	return e.buf[off : off+n]
+}
+
 // U8 writes one byte.
 func (e *Encoder) U8(v uint8) { e.need(); e.buf = append(e.buf, v) }
 
@@ -141,48 +159,58 @@ func (e *Encoder) String(s string) {
 // U64s writes a count-prefixed []uint64.
 func (e *Encoder) U64s(v []uint64) {
 	e.U32(uint32(len(v)))
-	for _, x := range v {
-		e.U64(x)
+	b := e.alloc(8 * len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[i*8:], x)
 	}
 }
 
 // U32s writes a count-prefixed []uint32.
 func (e *Encoder) U32s(v []uint32) {
 	e.U32(uint32(len(v)))
-	for _, x := range v {
-		e.U32(x)
+	b := e.alloc(4 * len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[i*4:], x)
 	}
 }
 
 // U16s writes a count-prefixed []uint16.
 func (e *Encoder) U16s(v []uint16) {
 	e.U32(uint32(len(v)))
-	for _, x := range v {
-		e.U16(x)
+	b := e.alloc(2 * len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint16(b[i*2:], x)
 	}
 }
 
 // I32s writes a count-prefixed []int32.
 func (e *Encoder) I32s(v []int32) {
 	e.U32(uint32(len(v)))
-	for _, x := range v {
-		e.U32(uint32(x))
+	b := e.alloc(4 * len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(x))
 	}
 }
 
 // F64s writes a count-prefixed []float64.
 func (e *Encoder) F64s(v []float64) {
 	e.U32(uint32(len(v)))
-	for _, x := range v {
-		e.F64(x)
+	b := e.alloc(8 * len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(x))
 	}
 }
 
 // Bools writes a count-prefixed []bool, one byte per element.
 func (e *Encoder) Bools(v []bool) {
 	e.U32(uint32(len(v)))
-	for _, x := range v {
-		e.Bool(x)
+	b := e.alloc(len(v))
+	for i, x := range v {
+		if x {
+			b[i] = 1
+		} else {
+			b[i] = 0
+		}
 	}
 }
 
@@ -446,21 +474,46 @@ func (d *Decoder) U64s() []uint64 {
 		return nil
 	}
 	v := make([]uint64, n)
-	for i := range v {
-		v[i] = d.U64()
-	}
+	d.u64sFill(v)
 	return v
+}
+
+// U64sInto reads a count-prefixed []uint64 written by Encoder.U64s
+// directly into dst, whose length must equal the stored count. Large
+// restores (wear arrays, bitsets, chain arenas) decode in place with no
+// transient slice.
+func (d *Decoder) U64sInto(dst []uint64) {
+	n := d.count(8)
+	if d.err != nil {
+		return
+	}
+	if n != len(dst) {
+		d.fail("section %q: array count %d, want %d", d.secName, n, len(dst))
+		return
+	}
+	d.u64sFill(dst)
+}
+
+func (d *Decoder) u64sFill(dst []uint64) {
+	b := d.take(8 * len(dst))
+	if b == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
 }
 
 // U32s reads a count-prefixed []uint32.
 func (d *Decoder) U32s() []uint32 {
 	n := d.count(4)
+	b := d.take(4 * n)
 	if d.err != nil {
 		return nil
 	}
 	v := make([]uint32, n)
 	for i := range v {
-		v[i] = d.U32()
+		v[i] = binary.LittleEndian.Uint32(b[i*4:])
 	}
 	return v
 }
@@ -468,12 +521,13 @@ func (d *Decoder) U32s() []uint32 {
 // U16s reads a count-prefixed []uint16.
 func (d *Decoder) U16s() []uint16 {
 	n := d.count(2)
+	b := d.take(2 * n)
 	if d.err != nil {
 		return nil
 	}
 	v := make([]uint16, n)
 	for i := range v {
-		v[i] = d.U16()
+		v[i] = binary.LittleEndian.Uint16(b[i*2:])
 	}
 	return v
 }
@@ -481,12 +535,13 @@ func (d *Decoder) U16s() []uint16 {
 // I32s reads a count-prefixed []int32.
 func (d *Decoder) I32s() []int32 {
 	n := d.count(4)
+	b := d.take(4 * n)
 	if d.err != nil {
 		return nil
 	}
 	v := make([]int32, n)
 	for i := range v {
-		v[i] = int32(d.U32())
+		v[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
 	}
 	return v
 }
@@ -494,12 +549,13 @@ func (d *Decoder) I32s() []int32 {
 // F64s reads a count-prefixed []float64.
 func (d *Decoder) F64s() []float64 {
 	n := d.count(8)
+	b := d.take(8 * n)
 	if d.err != nil {
 		return nil
 	}
 	v := make([]float64, n)
 	for i := range v {
-		v[i] = d.F64()
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
 	}
 	return v
 }

@@ -2,6 +2,8 @@ package ckpt
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -116,6 +118,23 @@ func TestRejectsBadHeader(t *testing.T) {
 	data[4]++ // version
 	if _, err := NewDecoder(data); err == nil {
 		t.Error("bad version accepted")
+	}
+}
+
+// TestRejectsOldFormatVersion pins the error a pre-SoA (version 1)
+// checkpoint image produces: callers must see which versions are in
+// play, not a generic parse failure, so operators know to regenerate
+// the checkpoint rather than chase corruption.
+func TestRejectsOldFormatVersion(t *testing.T) {
+	data := buildSample()
+	data[4] = 1 // rewrite the header's format version to the old layout
+	_, err := NewDecoder(data)
+	if err == nil {
+		t.Fatal("version-1 image accepted")
+	}
+	want := fmt.Sprintf("version 1, want %d", Version)
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the versions (want substring %q)", err, want)
 	}
 }
 
@@ -261,3 +280,40 @@ func TestMapOrderValidated(t *testing.T) {
 		t.Error("out-of-order map keys accepted")
 	}
 }
+
+// BenchmarkCkptStreamSave measures encoding a paper-shaped checkpoint
+// body: a few bulk u64/u32 device arrays plus a sparse map, the mix
+// SaveState emits per engine. The streaming bulk writers (Encoder.alloc
+// growing the single backing buffer in place) should keep this at one
+// allocation per doubling with no intermediate []byte copies.
+func BenchmarkCkptStreamSave(b *testing.B) {
+	const blocks = 1 << 20
+	wear := make([]uint64, blocks)
+	horizon := make([]uint64, blocks/64)
+	next := make([]uint32, blocks/256)
+	for i := range wear {
+		wear[i] = uint64(i) * 2654435761
+	}
+	sparse := make(map[uint64]uint64, 1024)
+	for i := uint64(0); i < 1024; i++ {
+		sparse[i*997] = i
+	}
+	bytesPerOp := int64(len(wear)*8 + len(horizon)*8 + len(next)*4)
+	b.SetBytes(bytesPerOp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder()
+		e.Begin("device")
+		e.U64s(wear)
+		e.U64s(horizon)
+		e.MapU64(sparse)
+		e.End()
+		e.Begin("reviver")
+		e.U32s(next)
+		e.End()
+		ckptBenchSink = e.Finish()
+	}
+}
+
+var ckptBenchSink []byte

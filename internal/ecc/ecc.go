@@ -12,6 +12,7 @@ package ecc
 import (
 	"fmt"
 
+	"wlreviver/internal/bitset"
 	"wlreviver/internal/pcm"
 )
 
@@ -32,12 +33,17 @@ type Scheme interface {
 // ECP corrects up to Capacity failed cells per block by pointing
 // replacement cells at them. ECP6 (61 bits per 512-bit group) is the
 // paper's base scheme; ECP1 is PAYG's local layer.
+//
+// Cell failures are rare relative to the block count for most of a run,
+// so correction usage is a sparse map and the dead flags a bitset rather
+// than dense per-block arrays.
 type ECP struct {
-	name     string  // ckpt:skip construction-time label
-	capacity int     // ckpt:skip construction-time capacity, fingerprinted by the engine
-	bits     float64 // ckpt:skip construction-time overhead constant
-	used     []uint16
-	deadFlag []bool
+	name      string  // ckpt:skip construction-time label
+	capacity  int     // ckpt:skip construction-time capacity, fingerprinted by the engine
+	bits      float64 // ckpt:skip construction-time overhead constant
+	numBlocks uint64  // ckpt:skip construction-time geometry, fingerprinted by the engine
+	used      map[uint64]uint16
+	deadFlag  bitset.Bits
 }
 
 // NewECP returns an ECP scheme with the given per-block capacity for a
@@ -49,11 +55,12 @@ func NewECP(capacity int, numBlocks uint64) (*ECP, error) {
 		return nil, fmt.Errorf("ecc: negative ECP capacity %d", capacity)
 	}
 	return &ECP{
-		name:     fmt.Sprintf("ECP%d", capacity),
-		capacity: capacity,
-		bits:     float64(capacity*10 + 1),
-		used:     make([]uint16, numBlocks),
-		deadFlag: make([]bool, numBlocks),
+		name:      fmt.Sprintf("ECP%d", capacity),
+		capacity:  capacity,
+		bits:      float64(capacity*10 + 1),
+		numBlocks: numBlocks,
+		used:      make(map[uint64]uint16),
+		deadFlag:  bitset.New(numBlocks),
 	}, nil
 }
 
@@ -65,19 +72,20 @@ func (e *ECP) MetadataBitsPerBlock() float64 { return e.bits }
 
 // Absorb implements Scheme.
 func (e *ECP) Absorb(b pcm.BlockID, newFailures int) bool {
-	if e.deadFlag[b] {
+	if e.deadFlag.Test(uint64(b)) {
 		return false
 	}
-	e.used[b] += uint16(newFailures)
-	if int(e.used[b]) > e.capacity {
-		e.deadFlag[b] = true
+	u := e.used[uint64(b)] + uint16(newFailures)
+	e.used[uint64(b)] = u
+	if int(u) > e.capacity {
+		e.deadFlag.Set(uint64(b))
 		return false
 	}
 	return true
 }
 
 // Used returns the number of corrections consumed on block b.
-func (e *ECP) Used(b pcm.BlockID) int { return int(e.used[b]) }
+func (e *ECP) Used(b pcm.BlockID) int { return int(e.used[uint64(b)]) }
 
 // PAYGConfig parameterises the Pay-As-You-Go hierarchy.
 type PAYGConfig struct {
@@ -144,10 +152,10 @@ type PAYG struct {
 	cfg       PAYGConfig // ckpt:skip construction-time config, fingerprinted by the engine
 	numBlocks uint64     // ckpt:skip construction-time geometry, fingerprinted by the engine
 
-	localUsed []uint16
+	localUsed map[uint64]uint16
 	setFree   []int32
 	overflow  int64
-	deadFlag  []bool
+	deadFlag  bitset.Bits
 
 	pooledUsed uint64
 }
@@ -161,10 +169,10 @@ func NewPAYG(cfg PAYGConfig, numBlocks uint64) (*PAYG, error) {
 	p := &PAYG{
 		cfg:       cfg,
 		numBlocks: numBlocks,
-		localUsed: make([]uint16, numBlocks),
+		localUsed: make(map[uint64]uint16),
 		setFree:   make([]int32, sets),
 		overflow:  int64(cfg.OverflowEntries),
-		deadFlag:  make([]bool, numBlocks),
+		deadFlag:  bitset.New(numBlocks),
 	}
 	for i := range p.setFree {
 		p.setFree[i] = int32(cfg.SetEntries)
@@ -186,12 +194,12 @@ func (p *PAYG) MetadataBitsPerBlock() float64 {
 
 // Absorb implements Scheme.
 func (p *PAYG) Absorb(b pcm.BlockID, newFailures int) bool {
-	if p.deadFlag[b] {
+	if p.deadFlag.Test(uint64(b)) {
 		return false
 	}
 	for i := 0; i < newFailures; i++ {
-		if int(p.localUsed[b]) < p.cfg.LocalCapacity {
-			p.localUsed[b]++
+		if int(p.localUsed[uint64(b)]) < p.cfg.LocalCapacity {
+			p.localUsed[uint64(b)]++
 			continue
 		}
 		set := uint64(b) / uint64(p.cfg.SetBlocks)
@@ -205,7 +213,7 @@ func (p *PAYG) Absorb(b pcm.BlockID, newFailures int) bool {
 			p.pooledUsed++
 			continue
 		}
-		p.deadFlag[b] = true
+		p.deadFlag.Set(uint64(b))
 		return false
 	}
 	return true
@@ -241,11 +249,12 @@ var (
 // block, 5 + 29 + 32 = 66 bits; the constructor computes the general
 // form.
 type SAFER struct {
-	name     string  // ckpt:skip construction-time label
-	capacity int     // ckpt:skip construction-time capacity, fingerprinted by the engine
-	bits     float64 // ckpt:skip construction-time overhead constant
-	used     []uint16
-	deadFlag []bool
+	name      string  // ckpt:skip construction-time label
+	capacity  int     // ckpt:skip construction-time capacity, fingerprinted by the engine
+	bits      float64 // ckpt:skip construction-time overhead constant
+	numBlocks uint64  // ckpt:skip construction-time geometry, fingerprinted by the engine
+	used      map[uint64]uint16
+	deadFlag  bitset.Bits
 }
 
 // NewSAFER returns a SAFER-n scheme (n must be a positive power of two)
@@ -272,11 +281,12 @@ func NewSAFER(n int, cellsPerBlock int, numBlocks uint64) (*SAFER, error) {
 		partitionBits = logCells + (logN-1)*logN/2
 	}
 	return &SAFER{
-		name:     fmt.Sprintf("SAFER%d", n),
-		capacity: n,
-		bits:     float64(logN + partitionBits + n),
-		used:     make([]uint16, numBlocks),
-		deadFlag: make([]bool, numBlocks),
+		name:      fmt.Sprintf("SAFER%d", n),
+		capacity:  n,
+		bits:      float64(logN + partitionBits + n),
+		numBlocks: numBlocks,
+		used:      make(map[uint64]uint16),
+		deadFlag:  bitset.New(numBlocks),
 	}, nil
 }
 
@@ -288,18 +298,19 @@ func (s *SAFER) MetadataBitsPerBlock() float64 { return s.bits }
 
 // Absorb implements Scheme.
 func (s *SAFER) Absorb(b pcm.BlockID, newFailures int) bool {
-	if s.deadFlag[b] {
+	if s.deadFlag.Test(uint64(b)) {
 		return false
 	}
-	s.used[b] += uint16(newFailures)
-	if int(s.used[b]) > s.capacity {
-		s.deadFlag[b] = true
+	u := s.used[uint64(b)] + uint16(newFailures)
+	s.used[uint64(b)] = u
+	if int(u) > s.capacity {
+		s.deadFlag.Set(uint64(b))
 		return false
 	}
 	return true
 }
 
 // Used returns the number of stuck cells tolerated on block b.
-func (s *SAFER) Used(b pcm.BlockID) int { return int(s.used[b]) }
+func (s *SAFER) Used(b pcm.BlockID) int { return int(s.used[uint64(b)]) }
 
 var _ Scheme = (*SAFER)(nil)

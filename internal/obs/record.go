@@ -33,11 +33,12 @@ const (
 )
 
 // event is one buffered observation: two address/value words plus one
-// small integer, interpreted per kind.
+// small integer, interpreted per kind. Field order packs the struct to
+// 24 bytes (a merge round at paper scale buffers millions of these).
 type event struct {
-	kind eventKind
 	a, b uint64
-	i    int
+	i    int32
+	kind eventKind
 }
 
 // Rebase shifts shard-local identifiers into the enclosing chip's global
@@ -72,7 +73,7 @@ func (r *Recorder) Replay(o Observer, rb Rebase) {
 		case evBlockFailed:
 			o.BlockFailed(e.a+rb.DA, e.b)
 		case evCellFailed:
-			o.CellFailed(e.a+rb.DA, e.i)
+			o.CellFailed(e.a+rb.DA, int(e.i))
 		case evRevived:
 			o.Revived(e.a+rb.DA, e.b+rb.DA)
 		case evRemapCacheHit:
@@ -80,7 +81,7 @@ func (r *Recorder) Replay(o Observer, rb Rebase) {
 		case evRemapCacheMiss:
 			o.RemapCacheMiss(e.a + rb.DA)
 		case evGapMoved:
-			o.GapMoved(e.i+rb.Region, e.a+rb.DA)
+			o.GapMoved(int(e.i)+rb.Region, e.a+rb.DA)
 		case evRegionSwapped:
 			o.RegionSwapped(e.a+rb.DA, e.b+rb.DA)
 		case evPageRetired:
@@ -98,7 +99,7 @@ func (r *Recorder) BlockFailed(da uint64, wear uint64) {
 
 // CellFailed implements Observer.
 func (r *Recorder) CellFailed(da uint64, failedCells int) {
-	r.events = append(r.events, event{kind: evCellFailed, a: da, i: failedCells})
+	r.events = append(r.events, event{kind: evCellFailed, a: da, i: int32(failedCells)})
 }
 
 // Revived implements Observer.
@@ -118,7 +119,7 @@ func (r *Recorder) RemapCacheMiss(key uint64) {
 
 // GapMoved implements Observer.
 func (r *Recorder) GapMoved(region int, gapDA uint64) {
-	r.events = append(r.events, event{kind: evGapMoved, a: gapDA, i: region})
+	r.events = append(r.events, event{kind: evGapMoved, a: gapDA, i: int32(region)})
 }
 
 // RegionSwapped implements Observer.
@@ -134,7 +135,7 @@ func (r *Recorder) PageRetired(page uint64) {
 // Snapshot implements Observer. Snapshots carry no addresses, so Replay
 // forwards them unrebased.
 func (r *Recorder) Snapshot(s Snapshot) {
-	r.events = append(r.events, event{kind: evSnapshot, i: len(r.snaps)})
+	r.events = append(r.events, event{kind: evSnapshot, i: int32(len(r.snaps))})
 	r.snaps = append(r.snaps, s)
 }
 

@@ -17,6 +17,17 @@
 // (k-1)-th via the standard beta-spacing recurrence, then mapped through
 // the normal quantile function. Only the next-to-fail threshold is stored.
 //
+// The hot per-block state is structure-of-arrays: two flat uint64 slices
+// (wear counters and next-failure thresholds) that the write path and the
+// horizon rescan walk linearly, plus two packed bitsets (dead blocks and
+// materialized schedules). Blocks that have never approached a failure
+// carry only a quantized lower bound on their first threshold, looked up
+// in a small table shared process-wide per endurance model; the exact
+// threshold — bit-identical to the eager computation — is materialized
+// the first time the lower bound is crossed, and the handful of blocks
+// with materialized schedules live in a sparse index instead of three
+// more per-block arrays.
+//
 // The device is policy-free: it reports new cell failures on each write
 // and lets an error-correction scheme (package ecc) decide when a block is
 // dead. Dead blocks keep accepting accesses (a real chip cannot refuse
@@ -26,7 +37,9 @@ package pcm
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"wlreviver/internal/bitset"
 	"wlreviver/internal/obs"
 	"wlreviver/internal/rng"
 	"wlreviver/internal/stats"
@@ -99,17 +112,31 @@ type AccessStats struct {
 // Total returns reads+writes.
 func (a AccessStats) Total() uint64 { return a.Reads + a.Writes }
 
+// failState is a block's materialized failure-schedule position: how many
+// cells have failed and the last uniform order statistic generated, from
+// which the beta-spacing recurrence advances.
+type failState struct {
+	cells uint16  // cells failed so far
+	u     float64 // U_(cells+1), the order statistic behind nextFail
+}
+
 // Device is a simulated PCM chip. It is not safe for concurrent use; the
 // simulator is single-threaded per device, which mirrors a single memory
 // controller and keeps the hot path allocation- and lock-free.
 type Device struct {
 	cfg Config // ckpt:skip construction-time config, fingerprinted by the engine
 
-	wear        []uint64  // writes serviced per block
-	nextFail    []uint64  // wear threshold at which the next cell fails
-	failedCells []uint16  // cells failed so far
-	orderU      []float64 // last uniform order statistic generated
-	dead        []bool    // marked by the ECC layer via MarkDead
+	wear     []uint64 // writes serviced per block
+	nextFail []uint64 // wear threshold of the next cell failure (exact when the block's exact bit is set, else a lower bound)
+
+	exactBits bitset.Bits // blocks whose nextFail is exact; set iff the block has a fails entry
+	deadBits  bitset.Bits // blocks declared uncorrectable by the ECC layer via MarkDead
+
+	// fails holds the schedule position for blocks whose thresholds have
+	// been materialized — typically a tiny fraction of the device.
+	fails map[uint64]failState
+
+	lifeLB []uint64 // ckpt:derived shared lower-bound table, rebuilt from cfg by NewDevice
 
 	content []uint64 // logical tag per block when TrackContent
 
@@ -122,7 +149,9 @@ type Device struct {
 	// that brings its block's wear up to nextFail, and each write lowers
 	// exactly one block's margin by one, so after a scan finding minimum
 	// margin M the next M-1 writes are failure-free; while horizon > 0 the
-	// write path skips all failure bookkeeping. When the scan itself finds
+	// write path skips all failure bookkeeping. Unmaterialized blocks
+	// contribute their lower-bound margin, which only shortens the
+	// horizon — never past a real failure. When the scan itself finds
 	// a margin of 1 (a failure is imminent), rescanIn amortizes the next
 	// O(NumBlocks) scan over NumBlocks checked writes so pathological
 	// streams cost O(1) extra per write, not O(NumBlocks).
@@ -133,25 +162,93 @@ type Device struct {
 	observer obs.Observer // nil unless attached; CellFailed probe
 }
 
+// lbQuantBits quantizes the first-failure uniform variate for the shared
+// lower-bound table: 2^16 entries, 512 KiB per distinct endurance model,
+// cached process-wide (devices of every scale and shard share one table).
+const lbQuantBits = 16
+
+type lbKey struct {
+	mean  float64
+	sigma float64
+	cells int
+}
+
+var (
+	lbMu    sync.Mutex
+	lbCache = map[lbKey][]uint64{}
+)
+
+// lifeLowerBounds returns the table mapping q = floor(v * 2^16) — v the
+// block's first uniform variate — to a guaranteed lower bound on the
+// block's first-failure threshold. Entry q is the exact threshold at the
+// quantization cell's left edge minus a slack covering the cell width's
+// effect plus floating-point non-monotonicity of Pow/Erfinv (both orders
+// of magnitude below the 2^-20 relative slack) and the ceil rounding.
+func lifeLowerBounds(mean, sigma float64, cells int) []uint64 {
+	key := lbKey{mean: mean, sigma: sigma, cells: cells}
+	lbMu.Lock()
+	defer lbMu.Unlock()
+	if t := lbCache[key]; t != nil {
+		return t
+	}
+	t := make([]uint64, 1<<lbQuantBits)
+	for q := range t {
+		v := float64(q) / (1 << lbQuantBits)
+		u := 1 - math.Pow(1-v, 1/float64(cells))
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		life := mean + sigma*math.Sqrt2*math.Erfinv(2*u-1)
+		if life < 1 {
+			life = 1
+		}
+		lb := uint64(math.Ceil(life))
+		slack := 1 + lb>>20
+		if lb <= slack {
+			lb = 1
+		} else {
+			lb -= slack
+		}
+		t[q] = lb
+	}
+	lbCache[key] = t
+	return t
+}
+
 // NewDevice builds a chip from cfg.
 func NewDevice(cfg Config) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	d := &Device{
-		cfg:         cfg,
-		wear:        make([]uint64, cfg.NumBlocks),
-		nextFail:    make([]uint64, cfg.NumBlocks),
-		failedCells: make([]uint16, cfg.NumBlocks),
-		orderU:      make([]float64, cfg.NumBlocks),
-		dead:        make([]bool, cfg.NumBlocks),
-		sigma:       cfg.LifetimeCoV * cfg.MeanEndurance,
+		cfg:       cfg,
+		wear:      make([]uint64, cfg.NumBlocks),
+		nextFail:  make([]uint64, cfg.NumBlocks),
+		exactBits: bitset.New(cfg.NumBlocks),
+		deadBits:  bitset.New(cfg.NumBlocks),
+		fails:     make(map[uint64]failState),
+		sigma:     cfg.LifetimeCoV * cfg.MeanEndurance,
 	}
+	d.lifeLB = lifeLowerBounds(cfg.MeanEndurance, d.sigma, cfg.CellsPerBlock)
 	if cfg.TrackContent {
 		d.content = make([]uint64, cfg.NumBlocks)
 	}
+	// Weak-tail blocks (lower bound under matFloor) get their exact first
+	// threshold up front, so the few fragile blocks of a large chip cannot
+	// pin the failure horizon near zero from the start; everything else
+	// starts from the table.
+	matFloor := uint64(math.Ceil(cfg.MeanEndurance / 16))
 	for b := uint64(0); b < cfg.NumBlocks; b++ {
-		d.nextFail[b] = d.orderStatThreshold(BlockID(b), 0)
+		v := d.cellU(BlockID(b), 0)
+		q := int(v * (1 << lbQuantBits))
+		if q >= 1<<lbQuantBits {
+			q = 1<<lbQuantBits - 1
+		}
+		if lb := d.lifeLB[q]; lb > matFloor {
+			d.nextFail[b] = lb
+		} else {
+			d.materialize(BlockID(b))
+		}
 	}
 	d.recomputeHorizon()
 	return d, nil
@@ -165,23 +262,23 @@ func (d *Device) NumBlocks() uint64 { return d.cfg.NumBlocks }
 
 // cellU derives the uniform variate used for the k-th order-statistic
 // spacing of block b. It depends only on (seed, b, k), so failure
-// schedules are independent of the order in which blocks are written.
-// rng.HashFloat64Open produces exactly what a freshly seeded Source
-// would, without allocating one per draw — this runs once per cell
-// failure and once per block at construction.
+// schedules are independent of the order in which blocks are written —
+// and of when the schedule is materialized. rng.HashFloat64Open produces
+// exactly what a freshly seeded Source would, without allocating one per
+// draw.
 func (d *Device) cellU(b BlockID, k int) float64 {
 	return rng.HashFloat64Open(d.cfg.Seed ^ (uint64(b)+1)*0x9E3779B97F4A7C15 ^ (uint64(k)+1)*0xC2B2AE3D27D4EB4F)
 }
 
-// orderStatThreshold computes the wear threshold of the (k+1)-th cell
-// failure of block b, advancing the sequential uniform order statistic
-// from the stored state. k is the number of cells already failed.
-func (d *Device) orderStatThreshold(b BlockID, k int) uint64 {
+// threshold computes the wear threshold of the (k+1)-th cell failure of
+// block b from prev = U_(k) (0 when k == 0), returning the threshold and
+// the advanced order statistic U_(k+1). k is the number of cells already
+// failed.
+func (d *Device) threshold(b BlockID, k int, prev float64) (uint64, float64) {
 	c := d.cfg.CellsPerBlock
 	if k >= c {
-		return math.MaxUint64 // all cells failed; no further events
+		return math.MaxUint64, prev // all cells failed; no further events
 	}
-	prev := d.orderU[b] // U_(k), with U_(0) = 0
 	// Remaining c-k uniforms are i.i.d. on (prev, 1); their minimum is
 	// prev + (1-prev) * (1 - (1-V)^(1/(c-k))).
 	v := d.cellU(b, k)
@@ -189,12 +286,23 @@ func (d *Device) orderStatThreshold(b BlockID, k int) uint64 {
 	if u >= 1 {
 		u = math.Nextafter(1, 0)
 	}
-	d.orderU[b] = u
 	life := d.cfg.MeanEndurance + d.sigma*math.Sqrt2*math.Erfinv(2*u-1)
 	if life < 1 {
 		life = 1
 	}
-	return uint64(math.Ceil(life))
+	return uint64(math.Ceil(life)), u
+}
+
+// materialize replaces block b's lower-bound threshold with the exact
+// first-failure threshold (identical to what the eager computation would
+// have produced) and records the schedule position. Only valid while the
+// block has no materialized schedule. nextFail can only grow here, so an
+// armed horizon stays a valid bound.
+func (d *Device) materialize(b BlockID) {
+	t, u := d.threshold(b, 0, 0)
+	d.nextFail[b] = t
+	d.fails[uint64(b)] = failState{u: u}
+	d.exactBits.Set(uint64(b))
 }
 
 // Write services one write to block b, wearing it. It returns the number
@@ -216,7 +324,7 @@ func (d *Device) Write(b BlockID) int {
 // caller must take the full checked path (Write). This lets the backend
 // skip its dead/ECC bookkeeping in one branch.
 func (d *Device) WriteNoFail(b BlockID) bool {
-	if d.horizon == 0 || d.dead[b] {
+	if d.horizon == 0 || d.deadBits.Test(uint64(b)) {
 		return false
 	}
 	d.horizon--
@@ -231,12 +339,21 @@ func (d *Device) writeChecked(b BlockID) int {
 	d.stats.Writes++
 	d.wear[b]++
 	newFailures := 0
-	for d.wear[b] >= d.nextFail[b] {
-		d.failedCells[b]++
-		newFailures++
-		d.nextFail[b] = d.orderStatThreshold(b, int(d.failedCells[b]))
-		if d.observer != nil {
-			d.observer.CellFailed(uint64(b), int(d.failedCells[b]))
+	if d.wear[b] >= d.nextFail[b] {
+		if !d.exactBits.Test(uint64(b)) {
+			d.materialize(b)
+		}
+		for d.wear[b] >= d.nextFail[b] {
+			fs := d.fails[uint64(b)]
+			fs.cells++
+			newFailures++
+			t, u := d.threshold(b, int(fs.cells), fs.u)
+			fs.u = u
+			d.fails[uint64(b)] = fs
+			d.nextFail[b] = t
+			if d.observer != nil {
+				d.observer.CellFailed(uint64(b), int(fs.cells))
+			}
 		}
 	}
 	if d.rescanIn > 0 {
@@ -248,8 +365,9 @@ func (d *Device) writeChecked(b BlockID) int {
 }
 
 // recomputeHorizon scans every block's failure margin and re-arms the
-// fast-path countdown. O(NumBlocks); runs at construction, on horizon
-// expiry, and at most once per NumBlocks checked writes.
+// fast-path countdown. O(NumBlocks) over two flat arrays; runs at
+// construction, on horizon expiry, and at most once per NumBlocks checked
+// writes.
 func (d *Device) recomputeHorizon() {
 	min := uint64(math.MaxUint64)
 	for b, w := range d.wear {
@@ -300,19 +418,19 @@ func (d *Device) WearMoments() stats.Welford {
 func (d *Device) SetObserver(o obs.Observer) { d.observer = o }
 
 // FailedCells returns the number of failed cells in block b.
-func (d *Device) FailedCells(b BlockID) int { return int(d.failedCells[b]) }
+func (d *Device) FailedCells(b BlockID) int { return int(d.fails[uint64(b)].cells) }
 
 // MarkDead records that the ECC layer declared block b uncorrectable.
 // Marking an already-dead block is a no-op.
 func (d *Device) MarkDead(b BlockID) {
-	if !d.dead[b] {
-		d.dead[b] = true
+	if !d.deadBits.Test(uint64(b)) {
+		d.deadBits.Set(uint64(b))
 		d.deadCount++
 	}
 }
 
 // Dead reports whether block b has been declared uncorrectable.
-func (d *Device) Dead(b BlockID) bool { return d.dead[b] }
+func (d *Device) Dead(b BlockID) bool { return d.deadBits.Test(uint64(b)) }
 
 // DeadBlocks returns the number of blocks declared dead.
 func (d *Device) DeadBlocks() uint64 { return d.deadCount }
@@ -345,5 +463,12 @@ func (d *Device) Content(b BlockID) uint64 {
 func (d *Device) TracksContent() bool { return d.content != nil }
 
 // PeekNextFailure returns the wear count at which block b's next cell
-// failure will occur. Exposed for tests and fast-forward heuristics.
-func (d *Device) PeekNextFailure(b BlockID) uint64 { return d.nextFail[b] }
+// failure will occur, materializing the exact threshold if the block only
+// carries its lower bound. Exposed for tests and fast-forward heuristics;
+// not for the hot path (materialization mutates checkpointed state).
+func (d *Device) PeekNextFailure(b BlockID) uint64 {
+	if !d.exactBits.Test(uint64(b)) {
+		d.materialize(b)
+	}
+	return d.nextFail[b]
+}

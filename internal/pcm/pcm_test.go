@@ -350,3 +350,26 @@ func BenchmarkNewDevice(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDeadBitsetWrite measures the fast-path write with the dead
+// set populated the way a late-life chip looks: a scattering of dead
+// blocks forcing every WriteNoFail through the packed-bitset membership
+// test (the structure that replaced the map[BlockID]struct{} dead set).
+// Dead hits return false immediately; live hits take the horizon
+// decrement. Both sides of that branch are the per-write cost the
+// bitset layout optimises.
+func BenchmarkDeadBitsetWrite(b *testing.B) {
+	const blocks = 1 << 16
+	d, _ := NewDevice(testConfig(blocks, 1e9))
+	for blk := uint64(0); blk < blocks; blk += 17 {
+		d.MarkDead(BlockID(blk)) // ~6% dead, striped across the words
+	}
+	mask := uint64(blocks - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := BlockID(uint64(i) & mask)
+		if !d.WriteNoFail(blk) && !d.Dead(blk) {
+			d.Write(blk)
+		}
+	}
+}

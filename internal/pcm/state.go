@@ -7,16 +7,23 @@ import (
 )
 
 // SaveState serializes the device's mutable state (wear counters, failure
-// schedule position, dead marks, access stats, and the failure-horizon
-// countdown) into the open checkpoint section. Configuration and the
-// derived sigma are not written; Restore rebuilds the device from the
-// same Config and overlays this state.
+// thresholds, the packed bitsets, the sparse failure-schedule index, dead
+// marks, access stats, and the failure-horizon countdown) into the open
+// checkpoint section. Configuration and the derived sigma and lower-bound
+// table are not written; Restore rebuilds the device from the same Config
+// and overlays this state.
 func (d *Device) SaveState(e *ckpt.Encoder) {
 	e.U64s(d.wear)
 	e.U64s(d.nextFail)
-	e.U16s(d.failedCells)
-	e.F64s(d.orderU)
-	e.Bools(d.dead)
+	e.U64s(d.exactBits.Words())
+	e.U64s(d.deadBits.Words())
+	e.U32(uint32(len(d.fails)))
+	for _, b := range ckpt.KeysU64(d.fails) {
+		fs := d.fails[b]
+		e.U64(b)
+		e.U16(fs.cells)
+		e.F64(fs.u)
+	}
 	e.Bool(d.content != nil)
 	if d.content != nil {
 		e.U64s(d.content)
@@ -29,18 +36,32 @@ func (d *Device) SaveState(e *ckpt.Encoder) {
 }
 
 // LoadState restores state written by SaveState into a device freshly
-// built from the identical Config. Slice lengths and the content-tracking
-// flag must match the construction geometry.
+// built from the identical Config. The flat arrays decode in place (no
+// transient copies); on any error the device's state is unspecified, per
+// the RestoreCheckpoint contract that a failed restore discards the
+// engine.
 func (d *Device) LoadState(dec *ckpt.Decoder) error {
-	wear := dec.U64s()
-	nextFail := dec.U64s()
-	failedCells := dec.U16s()
-	orderU := dec.F64s()
-	dead := dec.Bools()
+	dec.U64sInto(d.wear)
+	dec.U64sInto(d.nextFail)
+	dec.U64sInto(d.exactBits.Words())
+	dec.U64sInto(d.deadBits.Words())
+	nFails := int(dec.U32())
+	if dec.Err() == nil && uint64(nFails) > d.cfg.NumBlocks {
+		return fmt.Errorf("pcm: checkpoint failure index count %d exceeds %d blocks", nFails, d.cfg.NumBlocks)
+	}
+	fails := make(map[uint64]failState, nFails)
+	order := make([]uint64, 0, nFails)
+	for i := 0; i < nFails && dec.Err() == nil; i++ {
+		b := dec.U64()
+		fails[b] = failState{cells: dec.U16(), u: dec.F64()}
+		order = append(order, b)
+	}
 	hasContent := dec.Bool()
-	var content []uint64
-	if hasContent {
-		content = dec.U64s()
+	if dec.Err() == nil && hasContent != (d.content != nil) {
+		return fmt.Errorf("pcm: checkpoint TrackContent=%v, device has %v", hasContent, d.content != nil)
+	}
+	if hasContent && d.content != nil {
+		dec.U64sInto(d.content)
 	}
 	reads := dec.U64()
 	writes := dec.U64()
@@ -50,34 +71,25 @@ func (d *Device) LoadState(dec *ckpt.Decoder) error {
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	n := int(d.cfg.NumBlocks)
-	if len(wear) != n || len(nextFail) != n || len(failedCells) != n ||
-		len(orderU) != n || len(dead) != n {
-		return fmt.Errorf("pcm: checkpoint block count mismatch (device has %d blocks)", n)
+	if d.exactBits.Count() != uint64(len(fails)) {
+		return fmt.Errorf("pcm: checkpoint failure index has %d entries, exact bitmap has %d",
+			len(fails), d.exactBits.Count())
 	}
-	if hasContent != (d.content != nil) {
-		return fmt.Errorf("pcm: checkpoint TrackContent=%v, device has %v", hasContent, d.content != nil)
-	}
-	if hasContent && len(content) != n {
-		return fmt.Errorf("pcm: checkpoint content tag count mismatch")
-	}
-	var recount uint64
-	for _, dd := range dead {
-		if dd {
-			recount++
+	var prev uint64
+	for i, b := range order {
+		if i > 0 && b <= prev {
+			return fmt.Errorf("pcm: checkpoint failure index keys out of order")
+		}
+		prev = b
+		if b >= d.cfg.NumBlocks || !d.exactBits.Test(b) ||
+			int(fails[b].cells) > d.cfg.CellsPerBlock {
+			return fmt.Errorf("pcm: checkpoint failure index entry for block %d is inconsistent", b)
 		}
 	}
-	if recount != deadCount {
+	if recount := d.deadBits.Count(); recount != deadCount {
 		return fmt.Errorf("pcm: checkpoint dead count %d disagrees with bitmap (%d)", deadCount, recount)
 	}
-	copy(d.wear, wear)
-	copy(d.nextFail, nextFail)
-	copy(d.failedCells, failedCells)
-	copy(d.orderU, orderU)
-	copy(d.dead, dead)
-	if hasContent {
-		copy(d.content, content)
-	}
+	d.fails = fails
 	d.stats = AccessStats{Reads: reads, Writes: writes}
 	d.deadCount = deadCount
 	d.horizon = horizon

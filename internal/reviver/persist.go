@@ -38,19 +38,33 @@ func (r *Reviver) Snapshot() ([]byte, error) {
 	out = binary.LittleEndian.AppendUint32(out, snapshotVersion)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(bitmap)))
 	out = append(out, bitmap...)
-	out = binary.LittleEndian.AppendUint64(out, uint64(len(r.ptr)))
-	for da, pa := range r.ptr {
+	// Links, in ascending-DA order so snapshot bytes are deterministic.
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(r.byDA)))
+	for _, da := range r.LinkedDAs() {
 		out = binary.LittleEndian.AppendUint64(out, da)
-		out = binary.LittleEndian.AppendUint64(out, pa)
+		out = binary.LittleEndian.AppendUint64(out, r.nodes[r.byDA[da]].pa)
 	}
-	out = binary.LittleEndian.AppendUint64(out, uint64(len(r.avail)))
-	for _, pa := range r.avail {
-		out = binary.LittleEndian.AppendUint64(out, pa)
+	// Spares, oldest-acquired first (the free list runs newest-first, so
+	// reversed here); Restore re-pushes them in read order, reproducing
+	// the exact hand-out order.
+	spares := r.SparePAs()
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(spares)))
+	for i := len(spares) - 1; i >= 0; i-- {
+		out = binary.LittleEndian.AppendUint64(out, spares[i])
 	}
-	out = binary.LittleEndian.AppendUint64(out, uint64(len(r.ptrSlot)))
-	for pa, slot := range r.ptrSlot {
-		out = binary.LittleEndian.AppendUint64(out, pa)
-		out = binary.LittleEndian.AppendUint64(out, slot)
+	// Pointer-slot assignments, in arena (acquisition) order.
+	nSlots := 0
+	for _, n := range r.nodes {
+		if n.slot != noSlot {
+			nSlots++
+		}
+	}
+	out = binary.LittleEndian.AppendUint64(out, uint64(nSlots))
+	for _, n := range r.nodes {
+		if n.slot != noSlot {
+			out = binary.LittleEndian.AppendUint64(out, n.pa)
+			out = binary.LittleEndian.AppendUint64(out, n.slot)
+		}
 	}
 	return out, nil
 }
@@ -89,11 +103,13 @@ func (r *Reviver) Restore(data []byte) error {
 		return err
 	}
 
-	ptr := make(map[uint64]uint64)
 	nPtr, err := rd.u64()
 	if err != nil {
 		return err
 	}
+	nodes := make([]shadowNode, 0, nPtr)
+	byDA := make(map[uint64]uint32, nPtr)
+	byPA := make(map[uint64]uint32, nPtr)
 	for i := uint64(0); i < nPtr; i++ {
 		da, err := rd.u64()
 		if err != nil {
@@ -112,13 +128,26 @@ func (r *Reviver) Restore(data []byte) error {
 		if !r.os.Retired(pa) {
 			return fmt.Errorf("reviver: snapshot shadow PA %d is not in a retired page", pa)
 		}
-		ptr[da] = pa
+		if other, dup := byDA[da]; dup {
+			return fmt.Errorf("reviver: snapshot links DA %d to both PA %d and PA %d", da, nodes[other].pa, pa)
+		}
+		if other, dup := byPA[pa]; dup {
+			return fmt.Errorf("reviver: snapshot links PA %d to both DA %d and DA %d", pa, nodes[other].da, da)
+		}
+		idx := uint32(len(nodes))
+		nodes = append(nodes, shadowNode{pa: pa, da: da, slot: noSlot, next: noNode})
+		byDA[da] = idx
+		byPA[pa] = idx
 	}
-	var avail []uint64
+	// Spares were written oldest-acquired first; pushing in read order
+	// leaves the most recently acquired at the free-list head, the same
+	// hand-out order the snapshotted framework had.
 	nAvail, err := rd.u64()
 	if err != nil {
 		return err
 	}
+	freeHead := noNode
+	spares := 0
 	for i := uint64(0); i < nAvail; i++ {
 		pa, err := rd.u64()
 		if err != nil {
@@ -127,9 +156,15 @@ func (r *Reviver) Restore(data []byte) error {
 		if !r.os.Retired(pa) {
 			return fmt.Errorf("reviver: snapshot spare PA %d is not in a retired page", pa)
 		}
-		avail = append(avail, pa)
+		if _, dup := byPA[pa]; dup {
+			return fmt.Errorf("reviver: snapshot lists PA %d as both linked and spare", pa)
+		}
+		idx := uint32(len(nodes))
+		nodes = append(nodes, shadowNode{pa: pa, da: noDA, slot: noSlot, next: freeHead})
+		byPA[pa] = idx
+		freeHead = idx
+		spares++
 	}
-	ptrSlot := make(map[uint64]uint64)
 	nSlot, err := rd.u64()
 	if err != nil {
 		return err
@@ -143,19 +178,18 @@ func (r *Reviver) Restore(data []byte) error {
 		if err != nil {
 			return err
 		}
-		ptrSlot[pa] = slot
+		idx, ok := byPA[pa]
+		if !ok {
+			return fmt.Errorf("reviver: snapshot assigns pointer slot %d to unknown PA %d", slot, pa)
+		}
+		nodes[idx].slot = slot
 	}
 
-	r.ptr = ptr
-	r.inv = make(map[uint64]uint64, len(ptr))
-	for da, pa := range ptr {
-		if other, dup := r.inv[pa]; dup {
-			return fmt.Errorf("reviver: snapshot links PA %d to both DA %d and DA %d", pa, other, da)
-		}
-		r.inv[pa] = da
-	}
-	r.avail = avail
-	r.ptrSlot = ptrSlot
+	r.nodes = nodes
+	r.byDA = byDA
+	r.byPA = byPA
+	r.freeHead = freeHead
+	r.spares = spares
 	r.pending = nil
 	r.pendVals = make(map[uint64]pendingVal)
 	r.orphans = make(map[uint64]struct{})

@@ -35,6 +35,7 @@ package reviver
 
 import (
 	"fmt"
+	"sort"
 
 	"wlreviver/internal/cache"
 	"wlreviver/internal/mc"
@@ -122,6 +123,27 @@ type pendingOp struct {
 	hasHead bool
 }
 
+// shadowNode is one virtual shadow PA's record in the flat arena: the PA
+// itself, the failed DA currently linked to it (noDA while the PA sits in
+// the spare pool), the pointer-section PA that stores its inverse pointer
+// (noSlot when the acquired page had no pointer section), and the free-
+// list link threading spare nodes. Nodes are append-only — a shadow PA
+// keeps its arena slot for the chip's lifetime — so u32 indices into the
+// one slice replace per-entry pointers and SaveState can emit the whole
+// remap state as one contiguous section.
+type shadowNode struct {
+	pa   uint64
+	da   uint64
+	slot uint64
+	next uint32
+}
+
+const (
+	noDA   = ^uint64(0)
+	noSlot = ^uint64(0)
+	noNode = ^uint32(0)
+)
+
 // Reviver is the WL-Reviver framework instance for one chip.
 type Reviver struct {
 	cfg Config         // ckpt:skip construction-time config, fingerprinted by the engine
@@ -129,11 +151,14 @@ type Reviver struct {
 	be  *mc.Backend    // ckpt:skip wiring; the backend checkpoints itself
 	os  *osmodel.Model // ckpt:skip wiring; the OS model checkpoints itself
 
-	ptr map[uint64]uint64 // failed DA -> virtual shadow PA
-	// ckpt:derived inverse of ptr, rebuilt in LoadState
-	inv     map[uint64]uint64 // virtual shadow PA -> failed DA
-	ptrSlot map[uint64]uint64 // shadow PA -> pointer-section PA holding its inverse pointer
-	avail   []uint64          // unlinked reserved PAs (the register pair + skip refinement)
+	// nodes is the shadow arena (see shadowNode); freeHead threads the
+	// spare pool through it newest-first, generalising the paper's
+	// [current, last] register pair to tolerate skips.
+	nodes    []shadowNode
+	freeHead uint32
+	byDA     map[uint64]uint32 // ckpt:derived failed DA -> arena index, rebuilt in LoadState
+	byPA     map[uint64]uint32 // ckpt:derived shadow PA -> arena index, rebuilt in LoadState
+	spares   int               // ckpt:derived free-list length, recounted in LoadState
 
 	pending  []pendingOp
 	pendVals map[uint64]pendingVal // entry DA -> buffered data while suspended
@@ -181,9 +206,9 @@ func New(cfg Config, lv wear.Leveler, be *mc.Backend, os *osmodel.Model) (*Reviv
 		lv:            lv,
 		be:            be,
 		os:            os,
-		ptr:           make(map[uint64]uint64),
-		inv:           make(map[uint64]uint64),
-		ptrSlot:       make(map[uint64]uint64),
+		freeHead:      noNode,
+		byDA:          make(map[uint64]uint32),
+		byPA:          make(map[uint64]uint32),
 		pendVals:      make(map[uint64]pendingVal),
 		orphans:       make(map[uint64]struct{}),
 		shadowPerPage: shadow,
@@ -197,11 +222,11 @@ func (r *Reviver) Name() string { return "WL-Reviver" }
 func (r *Reviver) Stats() Stats { return r.st }
 
 // AvailableSpares returns the number of unlinked reserved PAs.
-func (r *Reviver) AvailableSpares() int { return len(r.avail) }
+func (r *Reviver) AvailableSpares() int { return r.spares }
 
 // LinkedFailures returns the number of failed blocks currently linked to
 // virtual shadows.
-func (r *Reviver) LinkedFailures() int { return len(r.ptr) }
+func (r *Reviver) LinkedFailures() int { return len(r.byDA) }
 
 // HasPending reports whether a wear-leveling delivery is suspended.
 func (r *Reviver) HasPending() bool { return len(r.pending) > 0 }
@@ -213,20 +238,36 @@ func (r *Reviver) HasPending() bool { return len(r.pending) > 0 }
 // prevents two degenerate links: a PA mapping straight back to the block
 // being linked (a data-less loop while data still needs storing), and a
 // PA mapping into a block already on the chain being walked (which would
-// close a pointer cycle). The paper expresses availability as a
-// [current, last] register pair; the slice generalises that to tolerate
-// skips. The exclusion is passed as explicit walk state rather than a
-// closure so the per-write delivery path performs no allocations.
+// close a pointer cycle). The free list runs newest-acquisition-first;
+// skipped nodes stay threaded in place, so the scan order matches the
+// paper's register-pair intent. The exclusion is passed as explicit walk
+// state rather than a closure so the per-write delivery path performs no
+// allocations.
 func (r *Reviver) takePA(path []chainLink, cur uint64, rm remap) (uint64, bool) {
-	for i := len(r.avail) - 1; i >= 0; i-- {
-		p := r.avail[i]
+	prev := noNode
+	for idx := r.freeHead; idx != noNode; idx = r.nodes[idx].next {
+		p := r.nodes[idx].pa
 		if onWalk(path, cur, rm.mapPA(r, p)) {
+			prev = idx
 			continue
 		}
-		r.avail = append(r.avail[:i], r.avail[i+1:]...)
+		if prev == noNode {
+			r.freeHead = r.nodes[idx].next
+		} else {
+			r.nodes[prev].next = r.nodes[idx].next
+		}
+		r.nodes[idx].next = noNode
+		r.spares--
 		return p, true
 	}
 	return 0, false
+}
+
+// pushSpare returns a node to the head of the spare free list.
+func (r *Reviver) pushSpare(idx uint32) {
+	r.nodes[idx].next = r.freeHead
+	r.freeHead = idx
+	r.spares++
 }
 
 // onWalk reports whether da is the walk's current block or a block
@@ -246,11 +287,14 @@ func onWalk(path []chainLink, cur, da uint64) bool {
 // link records da's virtual shadow: the PA pointer is written into the
 // failed block itself (readable thanks to strong in-block coding, as in
 // FREE-p/Zombie), and the inverse pointer is written into the block
-// mapped by the PA's pointer-section slot.
+// mapped by the PA's pointer-section slot. p must have come from takePA
+// (off the free list).
 func (r *Reviver) link(da, p uint64) {
 	delete(r.orphans, da)
-	r.ptr[da] = p
-	r.setInv(p, da)
+	idx := r.byPA[p]
+	r.nodes[idx].da = da
+	r.byDA[da] = idx
+	r.writeInv(idx)
 	r.be.Dev.Write(pcmBlock(da)) // pointer write into the failed block
 	r.st.MaintenanceAccesses++
 	r.st.LinksCreated++
@@ -262,14 +306,13 @@ func (r *Reviver) link(da, p uint64) {
 	}
 }
 
-// setInv updates the inverse pointer of virtual shadow PA p, wearing the
-// pointer block that stores it. Inverse-pointer blocks are not themselves
-// failure-protected: the paper notes they are written rarely and can be
-// rebuilt by a full PCM scan if lost, so the logical mapping is kept
-// authoritative here.
-func (r *Reviver) setInv(p, da uint64) {
-	r.inv[p] = da
-	if slot, ok := r.ptrSlot[p]; ok {
+// writeInv models rewriting the inverse pointer of the shadow at idx,
+// wearing the pointer block that stores it. Inverse-pointer blocks are
+// not themselves failure-protected: the paper notes they are written
+// rarely and can be rebuilt by a full PCM scan if lost, so the logical
+// mapping (the arena) is kept authoritative here.
+func (r *Reviver) writeInv(idx uint32) {
+	if slot := r.nodes[idx].slot; slot != noSlot {
 		r.be.Dev.Write(pcmBlock(r.lv.Map(slot)))
 		r.st.MaintenanceAccesses++
 	}
@@ -306,14 +349,18 @@ func (r *Reviver) acquirePage(reportPA uint64) []osmodel.Relocation {
 	slots := pas[r.shadowPerPage:]
 	perBlock := uint64(r.be.Dev.Config().BlockBytes / r.cfg.PointerBytes)
 	for i, p := range shadow {
-		r.avail = append(r.avail, p)
+		slot := noSlot
 		if len(slots) > 0 {
-			r.ptrSlot[p] = slots[uint64(i)/perBlock]
+			slot = slots[uint64(i)/perBlock]
 		}
+		idx := uint32(len(r.nodes))
+		r.nodes = append(r.nodes, shadowNode{pa: p, da: noDA, slot: slot, next: noNode})
+		r.byPA[p] = idx
+		r.pushSpare(idx)
 	}
 	performed := make([]osmodel.Relocation, 0, len(toCopy))
 	for _, s := range toCopy {
-		acc, needPA := r.deliver(r.lv.Map(s.rc.NewPA), s.tag, nil, remap{}, true, true)
+		acc, needPA, _ := r.deliver(r.lv.Map(s.rc.NewPA), s.tag, nil, remap{}, true, true)
 		r.st.MaintenanceAccesses += acc
 		if needPA {
 			// Even the fresh page could not supply a spare for the copy
@@ -331,6 +378,9 @@ func (r *Reviver) acquirePage(reportPA uint64) []osmodel.Relocation {
 // sweepOrphans restores Theorem 2 after an acquisition: every dead block
 // left unlinked by a spare-starved walk is linked now that fresh spares
 // exist (best-effort; a block is re-orphaned if spares run out again).
+// The sweep runs in ascending-DA order: each relink consumes spares and
+// wears blocks, so an unordered map walk here would let two identical
+// runs diverge.
 func (r *Reviver) sweepOrphans() {
 	if len(r.orphans) == 0 {
 		return
@@ -339,18 +389,27 @@ func (r *Reviver) sweepOrphans() {
 	for da := range r.orphans {
 		das = append(das, da)
 	}
+	sort.Slice(das, func(i, j int) bool { return das[i] < das[j] })
 	for _, da := range das {
 		if !r.be.Dead(da) {
 			delete(r.orphans, da)
 			continue
 		}
-		if _, linked := r.ptr[da]; linked {
+		if _, linked := r.byDA[da]; linked {
 			delete(r.orphans, da)
+			continue
+		}
+		if _, suspended := r.pendVals[da]; suspended {
+			// A suspended delivery targets this block: its data sits in
+			// the migration buffer and its pendingOp carries the correct
+			// chain head. Relinking it here with a data-less walk would
+			// let reduce rewire the head onto storage that never receives
+			// the buffered data; resume() relinks it properly instead.
 			continue
 		}
 		headPA, okHead := r.lv.Inverse(da)
 		head := r.chainHead(headPA, okHead, da)
-		acc, _ := r.deliver(da, 0, head, remap{}, false, false)
+		acc, _, _ := r.deliver(da, 0, head, remap{}, false, false)
 		r.st.MaintenanceAccesses += acc
 	}
 }
@@ -397,8 +456,32 @@ func (m remap) mapPA(r *Reviver, p uint64) uint64 {
 // mapping update lands (scenario 2, Fig. 3).
 //
 // needPA is returned when a link was needed but no spare PA exists; in
-// that case no data was written and the caller must suspend.
-func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite, hasData bool) (accesses uint64, needPA bool) {
+// that case no data was written and the caller must suspend. stopDA is
+// then the block the walk starved at: the pre-return reduce() has
+// already rewired the walked chain one hop from that block, so a
+// suspension must target stopDA (via retarget), not the original entry
+// — which may now sit on a dataless loop.
+func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite, hasData bool) (accesses uint64, needPA bool, stopDA uint64) {
+	if doWrite && hasData {
+		if _, suspended := r.pendVals[entry]; suspended {
+			// A suspended delivery already targets this entry; writing
+			// around it would be undone when it resumes with its stale
+			// buffer. Supersede the buffered value instead — the
+			// suspended op places the new data when spares allow, and
+			// reads see it through the buffer meanwhile. (resume itself
+			// clears the buffer before delivering, so it never lands
+			// here.)
+			r.pendVals[entry] = pendingVal{tag: tag, has: true}
+			for i := range r.pending {
+				if r.pending[i].entry == entry {
+					r.pending[i].tag = tag
+					r.pending[i].has = true
+					break
+				}
+			}
+			return 0, false, entry
+		}
+	}
 	path := head
 	cur := entry
 	limit := int(r.lv.NumDAs()) + 8
@@ -415,7 +498,7 @@ func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite
 					if path, cur, ok = r.freshLink(path, cur, rm); !ok {
 						r.orphans[cur] = struct{}{}
 						r.reduce(path) // shorten what was walked so far
-						return accesses, true
+						return accesses, true, cur
 					}
 					continue
 				}
@@ -426,16 +509,20 @@ func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite
 			break
 		}
 		// Dead block: follow (or create) its virtual shadow link.
-		p, linked := r.ptr[cur]
+		idx, linked := r.byDA[cur]
+		var p uint64
+		if linked {
+			p = r.nodes[idx].pa
+		}
 		if linked && onWalk(path, cur, rm.mapPA(r, p)) {
 			// Following the existing link would close a cycle: either the
 			// block sits on a PA-DA loop that data now needs to flow
 			// through, or the link points back into the walked chain.
 			// Recycle the virtual shadow into the spare pool and relink
 			// the block afresh.
-			delete(r.ptr, cur)
-			delete(r.inv, p)
-			r.avail = append(r.avail, p)
+			r.nodes[idx].da = noDA
+			delete(r.byDA, cur)
+			r.pushSpare(idx)
 			linked = false
 		}
 		if !linked {
@@ -443,7 +530,7 @@ func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite
 			if path, cur, ok = r.freshLink(path, cur, rm); !ok {
 				r.orphans[cur] = struct{}{}
 				r.reduce(path) // shorten what was walked so far
-				return accesses, true
+				return accesses, true, cur
 			}
 			continue
 		}
@@ -457,7 +544,20 @@ func (r *Reviver) deliver(entry, tag uint64, head []chainLink, rm remap, doWrite
 		cur = rm.mapPA(r, p)
 	}
 	r.reduce(path)
-	return accesses, false
+	return accesses, false, entry
+}
+
+// retarget redirects a starved delivery to the walk's starvation point.
+// deliver has already reduced the walked chain one hop from stopDA, so
+// resuming at the original entry would place the data on a detached
+// loop. When the target moves, the head is re-derived from the mapping:
+// the PA mapping to stopDA now threads it from the rewired chain head.
+func (r *Reviver) retarget(stopDA, entry uint64, headPA uint64, hasHead bool) (uint64, uint64, bool) {
+	if stopDA == entry {
+		return entry, headPA, hasHead
+	}
+	p, ok := r.lv.Inverse(stopDA)
+	return stopDA, p, ok
 }
 
 // freshLink links cur to a spare PA (judged under the effective
@@ -491,10 +591,15 @@ func (r *Reviver) reduce(path []chainLink) {
 }
 
 // rewritePtr points da's virtual shadow at p, updating the in-block
-// pointer, the inverse pointer, and the remap cache.
+// pointer, the inverse pointer, and the remap cache. Only reduce calls
+// it, with a permutation of the walked path's (da, via) pairs, so every
+// arena node touched here is reassigned exactly once and no stale byDA
+// entry survives the loop.
 func (r *Reviver) rewritePtr(da, p uint64) {
-	r.ptr[da] = p
-	r.setInv(p, da)
+	idx := r.byPA[p]
+	r.nodes[idx].da = da
+	r.byDA[da] = idx
+	r.writeInv(idx)
 	r.be.Dev.Write(pcmBlock(da))
 	r.st.MaintenanceAccesses++
 	if r.cfg.RemapCache != nil {
@@ -506,25 +611,28 @@ func (r *Reviver) rewritePtr(da, p uint64) {
 // stored for it. has is false when da is on a data-less PA-DA loop (or
 // an unlinked failure being handled elsewhere).
 func (r *Reviver) readEffective(da uint64) (tag uint64, has bool, accesses uint64) {
-	if v, pending := r.pendVals[da]; pending {
-		// The data sits in the controller's suspended-migration buffer.
-		return v.tag, v.has, 0
-	}
 	cur := da
 	for steps := 0; ; steps++ {
 		if steps > walkLimit {
 			panic(fmt.Sprintf("reviver: read walk from DA %d exceeded %d steps", da, walkLimit))
+		}
+		if v, pending := r.pendVals[cur]; pending {
+			// The data sits in the controller's suspended-migration
+			// buffer. Checked at every step, not just the entry: a chain
+			// may legitimately run through a block whose own delivery is
+			// suspended (the head was walked before the suspension).
+			return v.tag, v.has, accesses
 		}
 		if !r.be.Dead(cur) {
 			r.be.ReadRaw(cur)
 			accesses++
 			return r.be.Dev.Content(pcmBlock(cur)), true, accesses
 		}
-		p, linked := r.ptr[cur]
+		idx, linked := r.byDA[cur]
 		if !linked {
 			return 0, false, accesses // unlinked failure: no stored data
 		}
-		next := r.lv.Map(p)
+		next := r.lv.Map(r.nodes[idx].pa)
 		if next == cur {
 			return 0, false, accesses // PA-DA loop: no data behind it
 		}
@@ -546,8 +654,12 @@ func (r *Reviver) chainHead(headPA uint64, ok bool, entry uint64) []chainLink {
 	if !ok {
 		return nil
 	}
-	d, isShadow := r.inv[headPA]
-	if !isShadow || d == entry || !r.be.Dead(d) {
+	idx, isShadow := r.byPA[headPA]
+	if !isShadow {
+		return nil
+	}
+	d := r.nodes[idx].da
+	if d == noDA || d == entry || !r.be.Dead(d) {
 		return nil
 	}
 	return []chainLink{{da: d, via: headPA}}
@@ -560,7 +672,7 @@ func (r *Reviver) chainHead(headPA uint64, ok bool, entry uint64) []chainLink {
 func (r *Reviver) Write(pa, tag uint64) mc.WriteResult {
 	r.st.SoftwareWrites++
 	if len(r.pending) > 0 {
-		if len(r.avail) > 0 {
+		if r.spares > 0 {
 			r.resume()
 		}
 		if len(r.pending) > 0 {
@@ -576,7 +688,7 @@ func (r *Reviver) Write(pa, tag uint64) mc.WriteResult {
 	r.lastWritePA = pa
 	r.lastWriteOK = true
 	da := r.lv.Map(pa)
-	accesses, needPA := r.deliver(da, tag, nil, remap{}, true, true)
+	accesses, needPA, _ := r.deliver(da, tag, nil, remap{}, true, true)
 	r.st.RequestAccesses += accesses
 	if needPA {
 		// A genuine write failure with the spare pool empty: report it.
@@ -596,7 +708,7 @@ func (r *Reviver) Read(pa uint64) (uint64, uint64) {
 
 // ResumePending implements mc.Protector.
 func (r *Reviver) ResumePending() uint64 {
-	if len(r.pending) == 0 || len(r.avail) == 0 {
+	if len(r.pending) == 0 || r.spares == 0 {
 		return 0
 	}
 	return r.resume()
@@ -608,14 +720,23 @@ func (r *Reviver) resume() uint64 {
 	var total uint64
 	for len(r.pending) > 0 {
 		op := r.pending[0]
+		// Clear the buffer first: deliver treats a buffered entry as "a
+		// suspended op owns this" and would supersede instead of writing.
+		delete(r.pendVals, op.entry)
 		head := r.chainHead(op.headPA, op.hasHead, op.entry)
-		accesses, needPA := r.deliver(op.entry, op.tag, head, remap{}, true, op.has)
+		accesses, needPA, stop := r.deliver(op.entry, op.tag, head, remap{}, true, op.has)
 		total += accesses
 		if needPA {
-			break // still starved; await the next sacrifice
+			// Still starved: the failed walk may have rewired the chain
+			// again, so re-aim the op at the new starvation point and
+			// restore the buffer there so reads stay consistent until
+			// the next sacrifice frees spares.
+			e, h, ok := r.retarget(stop, op.entry, op.headPA, op.hasHead)
+			r.pending[0].entry, r.pending[0].headPA, r.pending[0].hasHead = e, h, ok
+			r.pendVals[e] = pendingVal{tag: op.tag, has: op.has}
+			break
 		}
 		r.pending = r.pending[1:]
-		delete(r.pendVals, op.entry)
 	}
 	r.st.MaintenanceAccesses += total
 	return total
@@ -631,13 +752,14 @@ func (r *Reviver) suspend(entry, tag uint64, has bool, headPA uint64, hasHead bo
 	if r.cfg.ImmediateAcquisition && r.lastWriteOK && !r.os.Retired(r.lastWritePA) {
 		r.acquirePage(r.lastWritePA)
 		r.lastWriteOK = false
-		accesses, needPA := r.deliver(entry, tag, r.chainHead(headPA, hasHead, entry), remap{}, true, has)
+		accesses, needPA, stop := r.deliver(entry, tag, r.chainHead(headPA, hasHead, entry), remap{}, true, has)
 		r.st.MaintenanceAccesses += accesses
 		if !needPA {
 			return
 		}
 		// Even the fresh page could not finish it; fall through to the
-		// regular suspension.
+		// regular suspension, aimed at where this walk starved.
+		entry, headPA, hasHead = r.retarget(stop, entry, headPA, hasHead)
 	}
 	r.pending = append(r.pending, pendingOp{
 		entry: entry, tag: tag, has: has, headPA: headPA, hasHead: hasHead,
@@ -666,10 +788,11 @@ func (r *Reviver) Migrate(src, dst uint64) {
 	if okHead {
 		rm = remap{pa1: headPA, da1: dst, n: 1}
 	}
-	accesses, needPA := r.deliver(dst, tag, r.chainHead(headPA, okHead, dst), rm, true, has)
+	accesses, needPA, stop := r.deliver(dst, tag, r.chainHead(headPA, okHead, dst), rm, true, has)
 	r.st.MaintenanceAccesses += accesses
 	if needPA {
-		r.suspend(dst, tag, has, headPA, okHead)
+		e, h, ok := r.retarget(stop, dst, headPA, okHead)
+		r.suspend(e, tag, has, h, ok)
 	}
 }
 
@@ -706,10 +829,11 @@ func (r *Reviver) deliverOrSuspend(entry, tag uint64, has bool, headPA uint64, h
 		r.suspend(entry, tag, has, headPA, hasHead)
 		return
 	}
-	accesses, needPA := r.deliver(entry, tag, r.chainHead(headPA, hasHead, entry), rm, true, has)
+	accesses, needPA, stop := r.deliver(entry, tag, r.chainHead(headPA, hasHead, entry), rm, true, has)
 	r.st.MaintenanceAccesses += accesses
 	if needPA {
-		r.suspend(entry, tag, has, headPA, hasHead)
+		e, h, ok := r.retarget(stop, entry, headPA, hasHead)
+		r.suspend(e, tag, has, h, ok)
 	}
 }
 
@@ -717,21 +841,28 @@ func (r *Reviver) deliverOrSuspend(entry, tag uint64, has bool, headPA uint64, h
 
 // ShadowPA returns da's virtual shadow PA, if linked.
 func (r *Reviver) ShadowPA(da uint64) (uint64, bool) {
-	p, ok := r.ptr[da]
-	return p, ok
+	idx, ok := r.byDA[da]
+	if !ok {
+		return 0, false
+	}
+	return r.nodes[idx].pa, true
 }
 
 // InversePointer returns the failed DA recorded for virtual shadow PA p.
+// Spare shadows record no DA.
 func (r *Reviver) InversePointer(p uint64) (uint64, bool) {
-	d, ok := r.inv[p]
-	return d, ok
+	idx, ok := r.byPA[p]
+	if !ok || r.nodes[idx].da == noDA {
+		return 0, false
+	}
+	return r.nodes[idx].da, true
 }
 
 // OnLoop reports whether da sits on a PA-DA loop (its virtual shadow
 // maps straight back to it).
 func (r *Reviver) OnLoop(da uint64) bool {
-	p, ok := r.ptr[da]
-	return ok && r.lv.Map(p) == da
+	idx, ok := r.byDA[da]
+	return ok && r.lv.Map(r.nodes[idx].pa) == da
 }
 
 // ChainSteps returns the number of DA→PA→DA steps from da to its current
@@ -743,17 +874,38 @@ func (r *Reviver) ChainSteps(da uint64) (int, bool) {
 		if !r.be.Dead(cur) {
 			return steps, true
 		}
-		p, ok := r.ptr[cur]
+		idx, ok := r.byDA[cur]
 		if !ok {
 			return steps, false
 		}
-		next := r.lv.Map(p)
+		next := r.lv.Map(r.nodes[idx].pa)
 		if next == cur {
 			return steps + 1, false
 		}
 		cur = next
 	}
 	return walkLimit, false
+}
+
+// SparePAs returns the spare pool's PAs in free-list order (the next one
+// handed out first), for tests and invariant checks.
+func (r *Reviver) SparePAs() []uint64 {
+	out := make([]uint64, 0, r.spares)
+	for idx := r.freeHead; idx != noNode; idx = r.nodes[idx].next {
+		out = append(out, r.nodes[idx].pa)
+	}
+	return out
+}
+
+// LinkedDAs returns the currently linked failed DAs in ascending order,
+// for tests and invariant checks.
+func (r *Reviver) LinkedDAs() []uint64 {
+	out := make([]uint64, 0, len(r.byDA))
+	for da := range r.byDA {
+		out = append(out, da)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func pcmBlock(da uint64) pcmBlockID { return pcmBlockID(da) }

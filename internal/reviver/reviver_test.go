@@ -17,7 +17,7 @@ import (
 // replay relocations, retry sacrificed writes, resume pending migrations,
 // then pace the leveler.
 type harness struct {
-	t   *testing.T
+	t   testing.TB
 	dev *pcm.Device
 	be  *mc.Backend
 	lv  wear.Leveler
@@ -40,7 +40,7 @@ type harnessOpts struct {
 	gapPeriod     uint64
 }
 
-func newHarness(t *testing.T, o harnessOpts) *harness {
+func newHarness(t testing.TB, o harnessOpts) *harness {
 	t.Helper()
 	if o.blocksPerPage == 0 {
 		o.blocksPerPage = 16
@@ -148,7 +148,14 @@ func (h *harness) write(vblock uint64) bool {
 // noteRelocations updates PA-level expectations after a page retirement:
 // the reviver has already performed the OS's recovery copies; the harness
 // only moves its bookkeeping. Blocks of the retired page that were not
-// copied (no recoverable data) are dropped.
+// copied (no recoverable data, or the copy was dropped) are dropped.
+//
+// The donor page is a live frame (the fully-committed model folds the
+// retired page's virtual page onto it), so every performed copy
+// *overwrites* the donor block — including copies of blocks software
+// never wrote, whose content the harness does not track. Those must
+// clear the donor PA's expectation rather than leave a stale tag behind;
+// missing that was the historic "PA <n> reads tag 0" flake.
 func (h *harness) noteRelocations(reportPA uint64, relocs []osmodel.Relocation, retired bool) {
 	if !retired {
 		if len(relocs) != 0 {
@@ -165,12 +172,13 @@ func (h *harness) noteRelocations(reportPA uint64, relocs []osmodel.Relocation, 
 	for off := uint64(0); off < bpp; off++ {
 		old := page*bpp + off
 		tag, had := h.expected[old]
-		if !had {
-			continue
-		}
 		delete(h.expected, old)
 		if newPA, copied := moved[old]; copied {
-			h.expected[newPA] = tag
+			if had {
+				h.expected[newPA] = tag
+			} else {
+				delete(h.expected, newPA)
+			}
 		}
 	}
 }
@@ -216,7 +224,7 @@ func (h *harness) verifyTheorems() {
 	}
 	// Theorem 2: every unlinked reserved PA reaches a healthy block in at
 	// most one step.
-	for _, p := range h.rv.avail {
+	for _, p := range h.rv.SparePAs() {
 		da := h.lv.Map(p)
 		steps, healthy := h.rv.ChainSteps(da)
 		if !healthy || steps > 1 {
@@ -225,7 +233,7 @@ func (h *harness) verifyTheorems() {
 		}
 	}
 	// Loop blocks must not be mapped by any live software PA.
-	for da := range h.rv.ptr {
+	for da := range h.rv.byDA {
 		if !h.rv.OnLoop(da) {
 			continue
 		}
@@ -435,7 +443,7 @@ func TestDisableChainReductionAblation(t *testing.T) {
 			break
 		}
 		if i%5_000 == 0 && !h.rv.HasPending() {
-			for da := range h.rv.ptr {
+			for da := range h.rv.byDA {
 				if s, healthy := h.rv.ChainSteps(da); healthy && s > maxSteps {
 					maxSteps = s
 				}
@@ -492,7 +500,7 @@ func TestIntrospectionHelpers(t *testing.T) {
 		t.Skip("no failure occurred")
 	}
 	found := false
-	for da := range h.rv.ptr {
+	for da := range h.rv.byDA {
 		p, ok := h.rv.ShadowPA(da)
 		if !ok {
 			t.Fatalf("linked block %d has no ShadowPA", da)

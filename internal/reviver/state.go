@@ -6,15 +6,21 @@ import (
 	"wlreviver/internal/ckpt"
 )
 
-// SaveState serializes the framework's mutable state: remap links,
-// pointer-slot assignments, the spare pool, suspended deliveries and
-// activity counters. The inverse link map is derived from ptr and is
-// rebuilt on load. Unlike Snapshot (the in-PCM reboot image, which
+// SaveState serializes the framework's mutable state: the shadow arena
+// (links, slot assignments and the spare free list as one contiguous
+// run of nodes), suspended deliveries and activity counters. The byDA
+// and byPA index maps and the spare count are derived from the arena and
+// are rebuilt on load. Unlike Snapshot (the in-PCM reboot image, which
 // refuses pending operations), this is a faithful mid-run capture.
 func (r *Reviver) SaveState(e *ckpt.Encoder) {
-	e.MapU64(r.ptr)
-	e.MapU64(r.ptrSlot)
-	e.U64s(r.avail)
+	e.U32(uint32(len(r.nodes)))
+	for _, n := range r.nodes {
+		e.U64(n.pa)
+		e.U64(n.da)
+		e.U64(n.slot)
+		e.U32(n.next)
+	}
+	e.U32(r.freeHead)
 	e.U32(uint32(len(r.pending)))
 	for _, p := range r.pending {
 		e.U64(p.entry)
@@ -48,9 +54,23 @@ func (r *Reviver) SaveState(e *ckpt.Encoder) {
 // LoadState restores state written by SaveState into a framework built
 // over the identical layer stack.
 func (r *Reviver) LoadState(dec *ckpt.Decoder) error {
-	ptr := dec.MapU64()
-	ptrSlot := dec.MapU64()
-	avail := dec.U64s()
+	nNodes := int(dec.U32())
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if nNodes*28 > 1<<30 { // each node is 28 payload bytes
+		return fmt.Errorf("reviver: checkpoint arena size %d implausible", nNodes)
+	}
+	nodes := make([]shadowNode, nNodes)
+	for i := range nodes {
+		nodes[i] = shadowNode{
+			pa:   dec.U64(),
+			da:   dec.U64(),
+			slot: dec.U64(),
+			next: dec.U32(),
+		}
+	}
+	freeHead := dec.U32()
 	nPend := int(dec.U32())
 	if dec.Err() != nil {
 		return dec.Err()
@@ -103,18 +123,45 @@ func (r *Reviver) LoadState(dec *ckpt.Decoder) error {
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	inv := make(map[uint64]uint64, len(ptr))
-	for _, da := range ckpt.KeysU64(ptr) {
-		pa := ptr[da]
-		if other, dup := inv[pa]; dup {
-			return fmt.Errorf("reviver: checkpoint links DAs %d and %d to the same shadow PA %d", other, da, pa)
+	byPA := make(map[uint64]uint32, len(nodes))
+	byDA := make(map[uint64]uint32)
+	for i, n := range nodes {
+		if _, dup := byPA[n.pa]; dup {
+			return fmt.Errorf("reviver: checkpoint arena repeats shadow PA %d", n.pa)
 		}
-		inv[pa] = da
+		byPA[n.pa] = uint32(i)
+		if n.da == noDA {
+			continue
+		}
+		if other, dup := byDA[n.da]; dup {
+			return fmt.Errorf("reviver: checkpoint links DA %d to shadow PAs %d and %d",
+				n.da, nodes[other].pa, n.pa)
+		}
+		byDA[n.da] = uint32(i)
 	}
-	r.ptr = ptr
-	r.inv = inv
-	r.ptrSlot = ptrSlot
-	r.avail = avail
+	spares := 0
+	for idx := freeHead; idx != noNode; {
+		if int(idx) >= len(nodes) {
+			return fmt.Errorf("reviver: checkpoint free list index %d outside arena of %d", idx, len(nodes))
+		}
+		if nodes[idx].da != noDA {
+			return fmt.Errorf("reviver: checkpoint free list holds linked shadow PA %d", nodes[idx].pa)
+		}
+		spares++
+		if spares > len(nodes) {
+			return fmt.Errorf("reviver: checkpoint free list cycles")
+		}
+		idx = nodes[idx].next
+	}
+	if linkedAndSpare := len(byDA) + spares; linkedAndSpare != len(nodes) {
+		return fmt.Errorf("reviver: checkpoint arena has %d nodes but %d linked + %d spare",
+			len(nodes), len(byDA), spares)
+	}
+	r.nodes = nodes
+	r.freeHead = freeHead
+	r.byDA = byDA
+	r.byPA = byPA
+	r.spares = spares
 	r.pending = pending
 	r.pendVals = pendVals
 	r.orphans = orphans

@@ -150,14 +150,17 @@ func TestObserverEventCountsPinned(t *testing.T) {
 	}
 	// Reference run: tiny scale, uniform seed-5 workload, ECP6 + Start-Gap
 	// + WL-Reviver, 500k-write budget (the run retires every page and
-	// stops first). Pinned from the run this test was introduced with.
+	// stops first). Pinned from the run this test was introduced with;
+	// re-pinned when the suspended-delivery fixes (orphan-sweep skip,
+	// buffer supersede, starved-walk retargeting) shifted late-life
+	// maintenance traffic slightly.
 	want := map[string]uint64{
 		obs.CounterBlockFailed: 946,
-		obs.CounterCellFailed:  7987,
-		obs.CounterRevived:     947,
-		obs.CounterGapMoved:    16077,
+		obs.CounterCellFailed:  7984,
+		obs.CounterRevived:     946,
+		obs.CounterGapMoved:    16076,
 		obs.CounterPageRetired: 64,
-		obs.CounterSnapshots:   314,
+		obs.CounterSnapshots:   313,
 	}
 	if len(counters) != len(want) {
 		t.Errorf("counter set %v, want keys of %v", counters, want)

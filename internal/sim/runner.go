@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 )
 
@@ -45,6 +46,12 @@ func RunJobs[T any](jobs []Job[T], workers int) []Result[T] {
 	if workers <= 1 || len(jobs) <= 1 {
 		for i := range jobs {
 			results[i] = runJob(jobs[i])
+			if len(jobs) > 1 {
+				// Return the finished job's engine (hundreds of MB at paper
+				// scale) before the next one builds, keeping the process's
+				// peak RSS at the single-job watermark.
+				runtime.GC()
+			}
 		}
 		return results
 	}

@@ -165,7 +165,7 @@ func TestCalibrateWeightsPinned(t *testing.T) {
 			logW[i] = src.NormFloat64()
 		}
 		for _, target := range []float64{0, 0.2, 1.15, 2.54, 9.77, 100} {
-			got := calibrateWeights(logW, target)
+			got := expWeights(logW, calibrateAlpha(logW, target))
 			want := calibrateWeightsRef(logW, target)
 			for i := range want {
 				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"wlreviver/internal/rng"
 )
@@ -201,8 +202,23 @@ func NewWeighted(cfg WeightedConfig) (*Weighted, error) {
 	// The asymptotic lognormal CoV badly overstates what a finite sample
 	// exhibits (the tail mass is too rare to be drawn), so calibrate
 	// empirically: weights = exp(alpha*logW) with alpha chosen by
-	// bisection so the sample CoV of the weights equals TargetCoV.
-	weights := calibrateWeights(logW, cfg.TargetCoV)
+	// bisection so the sample CoV of the weights equals TargetCoV. The
+	// chosen alpha is a pure function of (NumBlocks, PageBlocks, Seed,
+	// TargetCoV) — the field is fully determined by the first three — so
+	// it is memoized: experiment arms re-deriving the same workload (and
+	// sharded chips re-deriving the same shard streams) skip the ~110
+	// bisection probes, each a pass over the whole field.
+	key := calKey{numBlocks: cfg.NumBlocks, pageBlocks: cfg.PageBlocks, targetCoV: cfg.TargetCoV, seed: cfg.Seed}
+	calMu.Lock()
+	alpha, hit := calCache[key]
+	calMu.Unlock()
+	if !hit {
+		alpha = calibrateAlpha(logW, cfg.TargetCoV)
+		calMu.Lock()
+		calCache[key] = alpha
+		calMu.Unlock()
+	}
+	weights := expWeights(logW, alpha)
 	alias, err := NewAlias(weights, src.Fork(2))
 	if err != nil {
 		return nil, err
@@ -242,13 +258,31 @@ func (w *Weighted) NextBatch(dst []uint64) {
 	}
 }
 
-// calibrateWeights returns exp(alpha*logW), alpha >= 0 chosen by
-// bisection so the sample CoV of the returned weights matches targetCoV
-// as closely as the field allows. alpha = 0 yields uniform weights. The
-// log-weights are shifted by their maximum before exponentiation so
-// arbitrary alphas cannot overflow; CoV is scale-invariant, so the shift
-// does not affect calibration.
-func calibrateWeights(logW []float64, targetCoV float64) []float64 {
+// calKey identifies one calibration problem: the log-weight field is a
+// pure function of (numBlocks, pageBlocks, seed), and the bisection's
+// answer additionally of targetCoV.
+type calKey struct {
+	numBlocks  uint64
+	pageBlocks uint64
+	targetCoV  float64
+	seed       uint64
+}
+
+var (
+	calMu    sync.Mutex
+	calCache = map[calKey]float64{}
+)
+
+// calibrateAlpha returns alpha >= 0 chosen by bisection so the sample
+// CoV of exp(alpha*logW) matches targetCoV as closely as the field
+// allows. alpha = 0 yields uniform weights. The log-weights are shifted
+// by their maximum before exponentiation so arbitrary alphas cannot
+// overflow; CoV is scale-invariant, so the shift does not affect
+// calibration.
+func calibrateAlpha(logW []float64, targetCoV float64) float64 {
+	if targetCoV == 0 {
+		return 0
+	}
 	maxLog := logW[0]
 	for _, l := range logW {
 		if l > maxLog {
@@ -280,16 +314,6 @@ func calibrateWeights(logW []float64, targetCoV float64) []float64 {
 		}
 		return math.Sqrt(m2/n) / mean
 	}
-	expAt := func(alpha float64) []float64 {
-		w := make([]float64, len(logW))
-		for i, l := range logW {
-			w[i] = math.Exp(alpha * (l - maxLog))
-		}
-		return w
-	}
-	if targetCoV == 0 {
-		return expAt(0)
-	}
 	// Expand the upper bracket until the CoV crosses the target or the
 	// field saturates (a finite sample's CoV is capped near sqrt(n-1)).
 	lo, hi := 0.0, 1.0
@@ -305,7 +329,23 @@ func calibrateWeights(logW []float64, targetCoV float64) []float64 {
 			hi = mid
 		}
 	}
-	return expAt(hi)
+	return hi
+}
+
+// expWeights materialises exp(alpha*(logW-max)), the weight field the
+// bisection's final probe saw.
+func expWeights(logW []float64, alpha float64) []float64 {
+	maxLog := logW[0]
+	for _, l := range logW {
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	w := make([]float64, len(logW))
+	for i, l := range logW {
+		w[i] = math.Exp(alpha * (l - maxLog))
+	}
+	return w
 }
 
 // Uniform writes every block with equal probability.

@@ -1,18 +1,21 @@
 package wear
 
-// maxTableDomain caps the size of precomputed permutation tables. Two
-// uint32 tables at 2^24 entries cost 128 MiB — acceptable for paper-scale
+// maxTableDomain caps the size of precomputed permutation tables. One
+// uint32 table at 2^24 entries costs 64 MiB — acceptable for paper-scale
 // geometries — but beyond that the memoization is declined and the
 // underlying randomizer is used directly.
 const maxTableDomain = 1 << 24
 
-// Table is a Randomizer whose permutation has been flattened into forward
-// and inverse lookup arrays, turning the per-write Map from multi-round
-// Feistel hashing (with cycle walking) into a single array load. Build one
-// with Precompute.
+// Table is a Randomizer whose forward permutation has been flattened
+// into a lookup array, turning the per-write Map from multi-round
+// Feistel hashing (with cycle walking) into a single array load. The
+// inverse stays on the source randomizer: Inverse runs only on failure
+// handling and leveler maintenance — orders of magnitude rarer than Map
+// — so a second 64 MiB array per engine buys nothing the source cannot
+// compute. Build one with Precompute.
 type Table struct {
 	fwd []uint32
-	inv []uint32
+	src Randomizer
 }
 
 // Precompute memoizes a static randomizer into a Table by evaluating its
@@ -37,11 +40,9 @@ func Precompute(r Randomizer) Randomizer {
 	if n == 0 || n > maxTableDomain {
 		return r
 	}
-	t := &Table{fwd: make([]uint32, n), inv: make([]uint32, n)}
+	t := &Table{fwd: make([]uint32, n), src: r}
 	for x := uint64(0); x < n; x++ {
-		y := r.Map(x)
-		t.fwd[x] = uint32(y)
-		t.inv[y] = uint32(x)
+		t.fwd[x] = uint32(r.Map(x))
 	}
 	return t
 }
@@ -50,8 +51,8 @@ func Precompute(r Randomizer) Randomizer {
 // bounds check, matching the underlying randomizer's contract.
 func (t *Table) Map(x uint64) uint64 { return uint64(t.fwd[x]) }
 
-// Inverse returns the memoized preimage of y.
-func (t *Table) Inverse(y uint64) uint64 { return uint64(t.inv[y]) }
+// Inverse returns the preimage of y, computed by the source randomizer.
+func (t *Table) Inverse(y uint64) uint64 { return t.src.Inverse(y) }
 
 // N returns the domain size.
 func (t *Table) N() uint64 { return uint64(len(t.fwd)) }
