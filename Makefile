@@ -1,6 +1,6 @@
 # Convenience targets; scripts/verify.sh is the canonical gate.
 
-.PHONY: build test verify bench benchgate bench-baseline microbench paper fuzz
+.PHONY: build test verify bench benchgate bench-baseline microbench paper fuzz serve-smoke
 
 build:
 	go build ./...
@@ -62,6 +62,12 @@ fuzz:
 	go test ./internal/ckpt -fuzz FuzzDecoderNeverPanics -fuzztime 10s
 	go test ./internal/wear -fuzz FuzzStartGapMapInverse -fuzztime 10s
 	go test ./internal/sim -fuzz FuzzRestoreRejectsCorrupt -fuzztime 10s
+
+# wlserved crash-durability smoke: drive 50 devices with wlload,
+# kill -9 the daemon mid-run, restart over the same spill directory and
+# prove the topped-up fleet is byte-identical to an uninterrupted run.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Regenerate the paper's tables and figures at bench scale on all CPUs.
 paper:

@@ -179,7 +179,7 @@ func ablationRun(b *testing.B, mutate func(*Config)) (float64, float64) {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	gen, err := NewBenchmarkWorkload("mg", cfg.Blocks, cfg.BlocksPerPage, cfg.Seed)
+	gen, err := NewWorkload(WorkloadSpec{Kind: "mg", Blocks: cfg.Blocks, PageBlocks: cfg.BlocksPerPage, Seed: cfg.Seed})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func BenchmarkAblation_RestrictedRandomizer(b *testing.B) {
 			}
 			cfg.CustomLeveler = sg
 		}
-		gen, err := NewBenchmarkWorkload("mg", cfg.Blocks, cfg.BlocksPerPage, cfg.Seed)
+		gen, err := NewWorkload(WorkloadSpec{Kind: "mg", Blocks: cfg.Blocks, PageBlocks: cfg.BlocksPerPage, Seed: cfg.Seed})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -427,7 +427,7 @@ func BenchmarkEngineRunN(b *testing.B) {
 // BenchmarkWorkloadNext isolates the generator draw that feeds every
 // simulated write (alias-method sampling for benchmark workloads).
 func BenchmarkWorkloadNext(b *testing.B) {
-	gen, err := NewBenchmarkWorkload("mg", 1<<16, 64, 1)
+	gen, err := NewWorkload(WorkloadSpec{Kind: "mg", Blocks: 1 << 16, PageBlocks: 64, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

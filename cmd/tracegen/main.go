@@ -50,15 +50,15 @@ func run() error {
 	var err error
 	switch {
 	case *workload == "uniform":
-		gen, err = wlreviver.NewUniformWorkload(*blocks, *seed)
+		gen, err = wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: wlreviver.WorkloadUniform, Blocks: *blocks, Seed: *seed})
 	case len(*workload) > 4 && (*workload)[:4] == "cov:":
 		var cov float64
 		if _, err := fmt.Sscanf((*workload)[4:], "%f", &cov); err != nil {
 			return fmt.Errorf("bad cov spec %q: %w", *workload, err)
 		}
-		gen, err = wlreviver.NewSkewedWorkload(*blocks, *pageBlk, cov, *seed)
+		gen, err = wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: wlreviver.WorkloadSkewed, Blocks: *blocks, PageBlocks: *pageBlk, CoV: cov, Seed: *seed})
 	default:
-		gen, err = wlreviver.NewBenchmarkWorkload(*workload, *blocks, *pageBlk, *seed)
+		gen, err = wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: *workload, Blocks: *blocks, PageBlocks: *pageBlk, Seed: *seed})
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,263 @@
+// Command wlload drives a wlserved daemon with a deterministic device
+// fleet: it creates -devices devices cycling through the -mix workload
+// kinds, then tops every device up to -target simulated writes in
+// -batch sized requests, reporting latency and throughput. The traffic
+// is defined by (mix, seed, target), not by timing: rerunning after a
+// daemon crash tops the surviving state up to the same final write
+// counts, so the resulting metrics and checkpoint hashes are
+// byte-identical to an uninterrupted run — which -statefile records
+// for exactly that comparison.
+//
+// Example:
+//
+//	wlload -addr http://127.0.0.1:8080 -devices 50 -target 200000 \
+//	       -mix ocean,mg -concurrency 8 -statefile state.json
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wlreviver/internal/serve"
+	"wlreviver/internal/stats"
+	"wlreviver/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wlload:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr        string
+	devices     int
+	target      uint64
+	batch       uint64
+	mix         []string
+	concurrency int
+	seed        uint64
+	blocks      uint64
+	pageBlocks  uint64
+	endurance   float64
+	statefile   string
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+		devices     = flag.Int("devices", 16, "number of devices")
+		target      = flag.Uint64("target", 100_000, "simulated writes each device is topped up to")
+		batch       = flag.Uint64("batch", 4096, "writes per request")
+		mix         = flag.String("mix", "ocean,mg", "comma-separated workload kinds cycled across devices (Table I names, uniform, skewed)")
+		concurrency = flag.Int("concurrency", 8, "concurrent client workers")
+		seed        = flag.Uint64("seed", 1, "base seed; device i uses seed+i")
+		blocks      = flag.Uint64("blocks", 1<<12, "device capacity in blocks")
+		pageBlocks  = flag.Uint64("page-blocks", 16, "page size in blocks")
+		endurance   = flag.Float64("endurance", 1e3, "mean cell endurance in writes")
+		statefile   = flag.String("statefile", "", "write per-device {id, writes, metrics_sha256, ckpt_sha256} JSON here")
+	)
+	flag.Parse()
+	opts := options{
+		addr: *addr, devices: *devices, target: *target, batch: *batch,
+		mix: strings.Split(*mix, ","), concurrency: *concurrency, seed: *seed,
+		blocks: *blocks, pageBlocks: *pageBlocks, endurance: *endurance,
+		statefile: *statefile,
+	}
+	if opts.devices <= 0 || opts.batch == 0 || len(opts.mix) == 0 {
+		return errors.New("-devices, -batch and -mix must be positive")
+	}
+	if opts.concurrency <= 0 {
+		opts.concurrency = 1
+	}
+	return drive(context.Background(), opts)
+}
+
+// deviceID names device i; zero-padded so listings sort naturally.
+func deviceID(i int) string { return fmt.Sprintf("load-%04d", i) }
+
+// specFor is the deterministic device spec for index i.
+func specFor(opts options, i int) serve.DeviceSpec {
+	return serve.DeviceSpec{
+		Blocks:        opts.blocks,
+		BlocksPerPage: opts.pageBlocks,
+		MeanEndurance: opts.endurance,
+		Seed:          opts.seed + uint64(i),
+		Workload: trace.Spec{
+			Kind: opts.mix[i%len(opts.mix)],
+		},
+	}
+}
+
+// driver is the state shared across the client worker goroutines.
+type driver struct {
+	opts      options
+	client    *serve.Client
+	mu        sync.Mutex
+	latencies []float64 // per-request seconds
+	written   uint64
+	errs      []error
+}
+
+func drive(ctx context.Context, opts options) error {
+	d := &driver{opts: opts, client: serve.NewClient(opts.addr, nil)}
+
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := d.driveDevice(ctx, i); err != nil {
+					d.mu.Lock()
+					d.errs = append(d.errs, fmt.Errorf("%s: %w", deviceID(i), err))
+					d.mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < opts.devices; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(d.errs) > 0 {
+		for _, err := range d.errs {
+			fmt.Fprintln(os.Stderr, "wlload:", err)
+		}
+		return fmt.Errorf("%d of %d devices failed", len(d.errs), opts.devices)
+	}
+	d.report(elapsed)
+	if opts.statefile != "" {
+		return d.writeState(ctx)
+	}
+	return nil
+}
+
+// driveDevice creates (if absent) and tops up one device. ErrBusy
+// replies back off exponentially — the daemon's admission control at
+// work — and every other error aborts the device.
+func (d *driver) driveDevice(ctx context.Context, i int) error {
+	id := deviceID(i)
+	st, err := d.client.Status(ctx, id)
+	if errors.Is(err, serve.ErrUnknownDevice) {
+		if err := d.call(ctx, func() error { return d.client.Create(ctx, id, specFor(d.opts, i)) }); err != nil {
+			return err
+		}
+		st, err = d.client.Status(ctx, id)
+	}
+	if err != nil {
+		return err
+	}
+	for st.Writes < d.opts.target && !st.Stopped {
+		n := min(d.opts.batch, d.opts.target-st.Writes)
+		var wr serve.WriteResult
+		if err := d.call(ctx, func() error {
+			var werr error
+			wr, werr = d.client.Write(ctx, id, n)
+			return werr
+		}); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		d.written += wr.Done
+		d.mu.Unlock()
+		st.Writes = wr.Writes
+		st.Stopped = wr.Stopped
+	}
+	return nil
+}
+
+// call times one request, retrying ErrBusy with exponential backoff.
+func (d *driver) call(ctx context.Context, f func() error) error {
+	backoff := time.Millisecond
+	for {
+		t0 := time.Now()
+		err := f()
+		lat := time.Since(t0).Seconds()
+		d.mu.Lock()
+		d.latencies = append(d.latencies, lat)
+		d.mu.Unlock()
+		if !errors.Is(err, serve.ErrBusy) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 512*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// report prints the latency/throughput summary.
+func (d *driver) report(elapsed time.Duration) {
+	lat := d.latencies
+	sort.Float64s(lat)
+	ms := func(p float64) float64 { return stats.Percentile(lat, p) * 1e3 }
+	fmt.Printf("wlload: %d devices, %d writes in %.2fs (%.0f writes/s)\n",
+		d.opts.devices, d.written, elapsed.Seconds(), float64(d.written)/elapsed.Seconds())
+	if len(lat) > 0 {
+		fmt.Printf("wlload: %d requests, latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+			len(lat), ms(50), ms(90), ms(99), lat[len(lat)-1]*1e3)
+	}
+}
+
+// deviceState is one -statefile record.
+type deviceState struct {
+	ID            string `json:"id"`
+	Writes        uint64 `json:"writes"`
+	MetricsSHA256 string `json:"metrics_sha256"`
+	CkptSHA256    string `json:"ckpt_sha256"`
+}
+
+// writeState fetches every device's metrics report and checkpoint
+// image and records their hashes, sorted by ID — the run's replayable
+// fingerprint. Two runs that drove the same devices to the same
+// targets produce byte-identical statefiles, interrupted or not.
+func (d *driver) writeState(ctx context.Context) error {
+	states := make([]deviceState, 0, d.opts.devices)
+	for i := 0; i < d.opts.devices; i++ {
+		id := deviceID(i)
+		st, err := d.client.Status(ctx, id)
+		if err != nil {
+			return err
+		}
+		metrics, err := d.client.Metrics(ctx, id)
+		if err != nil {
+			return err
+		}
+		img, err := d.client.Checkpoint(ctx, id)
+		if err != nil {
+			return err
+		}
+		states = append(states, deviceState{
+			ID:            id,
+			Writes:        st.Writes,
+			MetricsSHA256: fmt.Sprintf("%x", sha256.Sum256(metrics)),
+			CkptSHA256:    fmt.Sprintf("%x", sha256.Sum256(img)),
+		})
+	}
+	sort.Slice(states, func(a, b int) bool { return states[a].ID < states[b].ID })
+	data, err := json.MarshalIndent(states, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(d.opts.statefile, append(data, '\n'), 0o644)
+}

@@ -177,13 +177,13 @@ func printWearQuantiles(counts []uint64) {
 func buildWorkload(spec string, cfg wlreviver.Config, seed uint64) (wlreviver.Workload, error) {
 	switch {
 	case spec == "uniform":
-		return wlreviver.NewUniformWorkload(cfg.Blocks, seed)
+		return wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: wlreviver.WorkloadUniform, Blocks: cfg.Blocks, Seed: seed})
 	case strings.HasPrefix(spec, "cov:"):
 		cov, err := strconv.ParseFloat(spec[len("cov:"):], 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad cov workload %q: %w", spec, err)
 		}
-		return wlreviver.NewSkewedWorkload(cfg.Blocks, cfg.BlocksPerPage, cov, seed)
+		return wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: wlreviver.WorkloadSkewed, Blocks: cfg.Blocks, PageBlocks: cfg.BlocksPerPage, CoV: cov, Seed: seed})
 	case strings.HasPrefix(spec, "hammer:"):
 		var targets []uint64
 		for _, part := range strings.Split(spec[len("hammer:"):], ",") {
@@ -193,16 +193,16 @@ func buildWorkload(spec string, cfg wlreviver.Config, seed uint64) (wlreviver.Wo
 			}
 			targets = append(targets, v)
 		}
-		return wlreviver.NewHammerWorkload(cfg.Blocks, targets)
+		return wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: wlreviver.WorkloadHammer, Blocks: cfg.Blocks, Targets: targets})
 	case strings.HasPrefix(spec, "birthday:"):
 		var set int
 		var burst uint64
 		if _, err := fmt.Sscanf(spec[len("birthday:"):], "%dx%d", &set, &burst); err != nil {
 			return nil, fmt.Errorf("bad birthday workload %q (want birthday:<set>x<burst>): %w", spec, err)
 		}
-		return wlreviver.NewBirthdayParadoxWorkload(cfg.Blocks, set, burst, seed)
+		return wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: wlreviver.WorkloadBirthday, Blocks: cfg.Blocks, SetSize: set, Burst: burst, Seed: seed})
 	default:
-		return wlreviver.NewBenchmarkWorkload(spec, cfg.Blocks, cfg.BlocksPerPage, seed)
+		return wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: spec, Blocks: cfg.Blocks, PageBlocks: cfg.BlocksPerPage, Seed: seed})
 	}
 }
 

@@ -1,0 +1,58 @@
+package wlreviver
+
+import (
+	"wlreviver/internal/ckpt"
+	"wlreviver/internal/serve"
+	"wlreviver/internal/sim"
+	"wlreviver/internal/trace"
+)
+
+// The package's error taxonomy. Every error returned by constructors,
+// checkpoint restore, registry lookups, and the fleet client wraps one
+// of these sentinels, so callers branch with errors.Is instead of
+// matching message text. The fleet daemon maps the same sentinels to
+// HTTP status codes (see internal/serve's status table), so a client
+// round-trips to the identical taxonomy it would see in-process.
+var (
+	// ErrBadConfig reports an invalid Config or WorkloadSpec field
+	// (zero geometry, unknown component selector, out-of-range knob).
+	ErrBadConfig = sim.ErrBadConfig
+	// ErrUnknownWorkload reports a WorkloadSpec.Kind that names neither
+	// a generic kind nor a Table I benchmark.
+	ErrUnknownWorkload = trace.ErrUnknownWorkload
+	// ErrUnknownExperiment reports an experiment or device-stack name
+	// absent from the registry.
+	ErrUnknownExperiment = sim.ErrUnknownExperiment
+	// ErrBadCheckpoint reports a structurally invalid checkpoint image:
+	// truncation, CRC mismatch, wrong format version, or sections that
+	// contradict the restoring engine's shape.
+	ErrBadCheckpoint = ckpt.ErrBadCheckpoint
+	// ErrConfigMismatch reports a checkpoint whose configuration
+	// fingerprint differs from the restoring system's Config — the
+	// image is valid, but for a different device.
+	ErrConfigMismatch = sim.ErrConfigMismatch
+	// ErrCrashed reports that an injected crash fault halted a sweep; a
+	// subsequent resumed run converges to the uninterrupted result.
+	ErrCrashed = sim.ErrCrashed
+
+	// ErrUnknownDevice reports a fleet operation on a device ID that
+	// was never created or has been deleted.
+	ErrUnknownDevice = serve.ErrUnknownDevice
+	// ErrDeviceExists reports a create for an ID already in the fleet.
+	ErrDeviceExists = serve.ErrDeviceExists
+	// ErrDeviceStopped reports writes against a device whose simulation
+	// has halted (capacity exhausted or write budget reached).
+	ErrDeviceStopped = serve.ErrDeviceStopped
+	// ErrDeviceCrippled reports writes against a device that stopped
+	// because its media degraded past the point of servicing writes.
+	ErrDeviceCrippled = serve.ErrDeviceCrippled
+	// ErrBusy reports that a device's request mailbox is full — the
+	// fleet's admission control; back off and retry.
+	ErrBusy = serve.ErrBusy
+	// ErrFleetFull reports that creating a device would exceed the
+	// fleet's configured device capacity.
+	ErrFleetFull = serve.ErrFleetFull
+	// ErrFleetClosed reports an operation against a fleet that is
+	// shutting down.
+	ErrFleetClosed = serve.ErrClosed
+)

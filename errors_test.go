@@ -1,0 +1,64 @@
+package wlreviver
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestErrorTaxonomy pins the public sentinel set: each failure mode
+// reached through the public API matches its exported sentinel via
+// errors.Is, so callers can branch without string matching.
+func TestErrorTaxonomy(t *testing.T) {
+	check := func(name string, err, sentinel error) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+			return
+		}
+		if !errors.Is(err, sentinel) {
+			t.Errorf("%s: %v does not wrap the sentinel", name, err)
+		}
+	}
+
+	_, err := NewWorkload(WorkloadSpec{Kind: "nosuch", Blocks: 64})
+	check("unknown workload kind", err, ErrUnknownWorkload)
+
+	w, err := NewWorkload(WorkloadSpec{Kind: WorkloadUniform, Blocks: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{}, w)
+	check("zero config", err, ErrBadConfig)
+
+	cfg := DefaultConfig()
+	cfg.Blocks = 128 // workload covers 64
+	cfg.BlocksPerPage = 8
+	_, err = New(cfg, w)
+	check("workload/config mismatch", err, ErrBadConfig)
+
+	_, err = LookupExperiment("nosuch")
+	check("unknown experiment", err, ErrUnknownExperiment)
+
+	_, err = LookupDeviceStack("nosuch")
+	check("unknown device stack", err, ErrUnknownExperiment)
+
+	cfg = DefaultConfig()
+	cfg.Blocks = 64
+	cfg.BlocksPerPage = 8
+	sys, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("garbage checkpoint", sys.RestoreCheckpoint([]byte("not a checkpoint")), ErrBadCheckpoint)
+
+	img, err := sys.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed++
+	other, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("checkpoint config mismatch", other.RestoreCheckpoint(img), ErrConfigMismatch)
+}

@@ -15,7 +15,7 @@ func Example() {
 	cfg.MeanEndurance = 1e9 // effectively indestructible for this demo
 	cfg.Seed = 1
 
-	workload, err := wlreviver.NewUniformWorkload(cfg.Blocks, 1)
+	workload, err := wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: wlreviver.WorkloadUniform, Blocks: cfg.Blocks, Seed: 1})
 	if err != nil {
 		panic(err)
 	}
@@ -29,11 +29,11 @@ func Example() {
 	// Output: writes=100000 survival=1.00 usable=1.00
 }
 
-// Workloads calibrated to the paper's Table I benchmarks: the stand-in
-// generators match the reported write CoVs.
-func ExampleNewBenchmarkWorkload() {
+// Workloads calibrated to the paper's Table I benchmarks: any Table I
+// name is a valid WorkloadSpec.Kind.
+func ExampleNewWorkload() {
 	for _, name := range wlreviver.BenchmarkNames()[:3] {
-		w, err := wlreviver.NewBenchmarkWorkload(name, 1<<12, 64, 1)
+		w, err := wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: name, Blocks: 1 << 12, PageBlocks: 64, Seed: 1})
 		if err != nil {
 			panic(err)
 		}
@@ -55,7 +55,7 @@ func ExampleConfig() {
 		cfg.MeanEndurance = 600
 		cfg.GapWritePeriod = 20
 		cfg.Protector = p
-		w, err := wlreviver.NewBenchmarkWorkload("mg", cfg.Blocks, cfg.BlocksPerPage, 42)
+		w, err := wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: "mg", Blocks: cfg.Blocks, PageBlocks: cfg.BlocksPerPage, Seed: 42})
 		if err != nil {
 			panic(err)
 		}

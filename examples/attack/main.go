@@ -28,13 +28,13 @@ func main() {
 		make func() (wlreviver.Workload, error)
 	}{
 		{"hammer-1 (one hot line)", func() (wlreviver.Workload, error) {
-			return wlreviver.NewHammerWorkload(blocks, []uint64{42})
+			return wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: wlreviver.WorkloadHammer, Blocks: blocks, Targets: []uint64{42}})
 		}},
 		{"hammer-8 (hot set of 8)", func() (wlreviver.Workload, error) {
-			return wlreviver.NewHammerWorkload(blocks, []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+			return wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: wlreviver.WorkloadHammer, Blocks: blocks, Targets: []uint64{1, 2, 3, 4, 5, 6, 7, 8}})
 		}},
 		{"birthday-16x4096", func() (wlreviver.Workload, error) {
-			return wlreviver.NewBirthdayParadoxWorkload(blocks, 16, 4096, 99)
+			return wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: wlreviver.WorkloadBirthday, Blocks: blocks, SetSize: 16, Burst: 4096, Seed: 99})
 		}},
 	}
 

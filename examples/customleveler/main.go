@@ -94,7 +94,7 @@ func main() {
 	lev := NewRandomSwap(cfg.Blocks, 16)
 	cfg.CustomLeveler = lev
 
-	workload, err := wlreviver.NewSkewedWorkload(cfg.Blocks, cfg.BlocksPerPage, 10, 5)
+	workload, err := wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: wlreviver.WorkloadSkewed, Blocks: cfg.Blocks, PageBlocks: cfg.BlocksPerPage, CoV: 10, Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

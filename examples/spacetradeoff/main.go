@@ -45,7 +45,7 @@ func main() {
 			cfg.GapWritePeriod = 50
 			cfg.Protector = s.prot
 			cfg.FreepReserveFraction = s.reserve
-			gen, err := wlreviver.NewBenchmarkWorkload(workload, cfg.Blocks, cfg.BlocksPerPage, 3)
+			gen, err := wlreviver.NewWorkload(wlreviver.WorkloadSpec{Kind: workload, Blocks: cfg.Blocks, PageBlocks: cfg.BlocksPerPage, Seed: 3})
 			if err != nil {
 				log.Fatal(err)
 			}

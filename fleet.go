@@ -1,0 +1,58 @@
+package wlreviver
+
+import (
+	"wlreviver/internal/serve"
+	"wlreviver/internal/sim"
+)
+
+// Fleet hosts many simulated devices in one process — the embedded form
+// of the wlserved daemon. Each device is a full System owned by a
+// per-device actor, paged in and out of memory under an LRU budget and
+// journaled so acknowledged writes survive a process kill. See
+// EXPERIMENTS.md § wlserved.
+type Fleet = serve.Fleet
+
+// FleetConfig parameterises OpenFleet.
+type FleetConfig = serve.Config
+
+// OpenFleet opens (or recovers) a fleet over its spill directory.
+func OpenFleet(cfg FleetConfig) (*Fleet, error) { return serve.Open(cfg) }
+
+// DeviceSpec is a fleet device's declarative, JSON-portable
+// description: geometry, component stack, and workload.
+type DeviceSpec = serve.DeviceSpec
+
+// DeviceStatus is a fleet device's observable state.
+type DeviceStatus = serve.DeviceStatus
+
+// WriteResult reports how a fleet write request was serviced.
+type WriteResult = serve.WriteResult
+
+// FleetHealth is the fleet-level device and residency summary.
+type FleetHealth = serve.Health
+
+// FleetClient is the HTTP client for a remote wlserved daemon. Its
+// errors wrap the same sentinels the in-process Fleet returns, so
+// errors.Is works identically against either.
+type FleetClient = serve.Client
+
+// NewFleetClient returns a client for the daemon at base
+// (e.g. "http://127.0.0.1:8080"); hc nil uses http.DefaultClient.
+var NewFleetClient = serve.NewClient
+
+// NewFleetHandler builds the wlserved HTTP API over a fleet, for
+// embedding the daemon in another process.
+var NewFleetHandler = serve.NewHandler
+
+// DeviceStack is a named ECC/leveler/protector stack from the paper's
+// figure sweeps, creatable by name via DeviceSpec.Stack.
+type DeviceStack = sim.DeviceStack
+
+// DeviceStacks lists the registered stacks in registry order.
+func DeviceStacks() []DeviceStack { return sim.DeviceStacks() }
+
+// DeviceStackNames lists the registered stack names in registry order.
+func DeviceStackNames() []string { return sim.DeviceStackNames() }
+
+// LookupDeviceStack returns the named stack or ErrUnknownExperiment.
+func LookupDeviceStack(name string) (DeviceStack, error) { return sim.LookupDeviceStack(name) }

@@ -1,23 +1,34 @@
 package analysis
 
-import "go/ast"
-
-// The only non-test files allowed to start goroutines: the worker pool
-// that fans experiments out across engines, and the shard scheduler that
-// fans one engine's address-space shards out within a batch. Both merge
-// their results in a deterministic order after a barrier, which is what
-// keeps parallel output byte-identical to the serial run.
-const (
-	runnerFile    = "internal/sim/runner.go"
-	shardPoolFile = "internal/sim/shardpool.go"
+import (
+	"go/ast"
+	"strings"
 )
 
-// ConfinedGoroutines bans `go` statements outside the two scheduler
-// files and _test.go files. All concurrency flows through those pools,
-// whose ordered merge steps are what make parallel output byte-identical
-// to the serial run; an ad-hoc goroutine anywhere else can reorder
-// writes into shared results and break that equivalence in ways the race
-// detector only catches probabilistically.
+// goroutineFiles are the only non-test files allowed to start
+// goroutines: the worker pool that fans experiments out across engines,
+// the shard scheduler that fans one engine's address-space shards out
+// within a batch, the fleet daemon's per-device actor spawner, and the
+// two serving binaries (HTTP listener and load generator). Each keeps
+// determinism a different way: the sim pools merge results in a
+// deterministic order after a barrier; the fleet actor is the sole
+// toucher of its device's engine, so every simulation still runs
+// single-threaded; the binaries only orchestrate I/O around those.
+var goroutineFiles = []string{
+	"internal/sim/runner.go",
+	"internal/sim/shardpool.go",
+	"internal/serve/actor.go",
+	"cmd/wlserved/main.go",
+	"cmd/wlload/main.go",
+}
+
+// ConfinedGoroutines bans `go` statements outside the allowlisted
+// scheduler/actor files and _test.go files. All concurrency flows
+// through those files, whose ordered merges (sim pools) or exclusive
+// per-device ownership (serve actors) are what keep concurrent output
+// byte-identical to a serial run; an ad-hoc goroutine anywhere else can
+// reorder writes into shared results and break that equivalence in ways
+// the race detector only catches probabilistically.
 type ConfinedGoroutines struct{}
 
 // Name implements Rule.
@@ -25,17 +36,22 @@ func (*ConfinedGoroutines) Name() string { return "confined-goroutines" }
 
 // Doc implements Rule.
 func (*ConfinedGoroutines) Doc() string {
-	return "go statements are confined to internal/sim/runner.go, internal/sim/shardpool.go and _test.go files"
+	return "go statements are confined to " + strings.Join(goroutineFiles, ", ") + " and _test.go files"
 }
 
 // Check implements Rule.
 func (*ConfinedGoroutines) Check(f *File, report func(ast.Node, string, ...any)) {
-	if f.Path == runnerFile || f.Path == shardPoolFile || f.IsTest() {
+	if f.IsTest() {
 		return
+	}
+	for _, allowed := range goroutineFiles {
+		if f.Path == allowed {
+			return
+		}
 	}
 	ast.Inspect(f.AST, func(n ast.Node) bool {
 		if g, ok := n.(*ast.GoStmt); ok {
-			report(g, "go statement outside %s or %s: route concurrency through the sim worker or shard pools", runnerFile, shardPoolFile)
+			report(g, "go statement outside %s: route concurrency through the sim pools or the serve actor spawner", strings.Join(goroutineFiles, ", "))
 		}
 		return true
 	})

@@ -1,0 +1,8 @@
+// Fixture: the actor allowance is per-file — a go statement in any
+// other internal/serve file is still a finding.
+package serve
+
+// BadSpawn is an ad-hoc goroutine outside the actor file.
+func BadSpawn(run func()) {
+	go run() // want confined-goroutines "go statement outside internal/sim/runner.go"
+}

@@ -25,11 +25,19 @@ package ckpt
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
 	"sort"
 )
+
+// ErrBadCheckpoint reports a checkpoint image that cannot be decoded:
+// bad magic, wrong format version, CRC mismatch, truncation, or a
+// section/field layout the reader did not expect. Every decode failure
+// in this package wraps it, so callers can classify restore errors with
+// errors.Is(err, ErrBadCheckpoint) instead of matching message text.
+var ErrBadCheckpoint = errors.New("bad checkpoint image")
 
 // Version is the on-disk format version. Bump it whenever any section's
 // field layout changes; old files are then rejected up front instead of
@@ -271,22 +279,22 @@ type Decoder struct {
 // the first section.
 func NewDecoder(data []byte) (*Decoder, error) {
 	if len(data) < len(magic)+4 {
-		return nil, fmt.Errorf("ckpt: truncated header (%d bytes)", len(data))
+		return nil, fmt.Errorf("ckpt: truncated header (%d bytes): %w", len(data), ErrBadCheckpoint)
 	}
 	if string(data[:4]) != string(magic[:]) {
-		return nil, fmt.Errorf("ckpt: bad magic %q", data[:4])
+		return nil, fmt.Errorf("ckpt: bad magic %q: %w", data[:4], ErrBadCheckpoint)
 	}
 	v := binary.LittleEndian.Uint32(data[4:])
 	if v != Version {
-		return nil, fmt.Errorf("ckpt: version %d, want %d", v, Version)
+		return nil, fmt.Errorf("ckpt: version %d, want %d: %w", v, Version, ErrBadCheckpoint)
 	}
 	return &Decoder{buf: data, off: 8}, nil
 }
 
-// fail records the first error.
+// fail records the first error, wrapping ErrBadCheckpoint.
 func (d *Decoder) fail(format string, args ...any) {
 	if d.err == nil {
-		d.err = fmt.Errorf("ckpt: "+format, args...)
+		d.err = fmt.Errorf("ckpt: "+format+": %w", append(args, ErrBadCheckpoint)...)
 	}
 }
 

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+)
+
+// This file is the only place in the package that launches goroutines
+// (the wlvet confined-goroutines rule allowlists it), keeping the
+// fleet's concurrency topology auditable in one screen: exactly one
+// actor goroutine per registered device, joined by Fleet.Close through
+// the WaitGroup. The actor is the sole code that ever touches a
+// device's engine or journal, so the simulation itself runs
+// single-threaded per device — determinism needs no engine-level
+// locking.
+
+// spawn starts the device's actor.
+func (f *Fleet) spawn(d *device) {
+	f.wg.Add(1)
+	go f.runActor(d)
+}
+
+// runActor serialises a device's requests: receive, service against
+// the checked-out engine, reply. It exits on fleet shutdown or device
+// deletion.
+func (f *Fleet) runActor(d *device) {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.quit:
+			f.mu.Lock()
+			f.drainLocked(d, ErrClosed)
+			f.mu.Unlock()
+			return
+		case r := <-d.mbox:
+			if r.op == opDelete {
+				f.handleDelete(d, r)
+				return
+			}
+			f.serveRequest(d, r)
+		}
+	}
+}
+
+// handleDelete tears the device down from inside its own actor:
+// unregister (so no further requests are admitted), answer the queued
+// backlog, discard the engine without a checkpoint, and remove the
+// spill directory.
+func (f *Fleet) handleDelete(d *device, r *request) {
+	f.mu.Lock()
+	d.deleted = true
+	delete(f.devices, d.id)
+	res := f.resident[d.id]
+	delete(f.resident, d.id)
+	f.drainLocked(d, fmt.Errorf("serve: device %q: %w", d.id, ErrUnknownDevice))
+	f.mu.Unlock()
+
+	// diskMu orders the removal after any in-flight spill of this
+	// device (evictions run on other actors' goroutines).
+	d.diskMu.Lock()
+	if res != nil {
+		_ = res.jl.close()
+	}
+	err := os.RemoveAll(d.dir)
+	d.diskMu.Unlock()
+	r.reply <- response{err: err}
+}

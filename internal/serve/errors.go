@@ -1,0 +1,45 @@
+// Package serve hosts a fleet of simulated PCM devices behind a
+// crash-safe HTTP/JSON daemon. Each device is one sim.Engine owned by a
+// dedicated actor goroutine; engines are paged between memory and a
+// spill directory under an LRU budget, and every acknowledged write is
+// durable: it is either covered by the device's checkpoint image or
+// replayable from a synced journal, so a kill -9 and restart converge
+// to the byte-identical simulated state.
+//
+// The package deliberately contains no wall-clock calls: eviction
+// recency is a logical counter bumped per request, and durability
+// checkpoints fire on acknowledged-write counts, so every fleet
+// decision is a pure function of the request sequence.
+package serve
+
+import "errors"
+
+// The fleet's error taxonomy. Fleet methods return errors wrapping
+// exactly one of these sentinels (or one of the sim/trace/ckpt
+// sentinels for spec and checkpoint problems); the HTTP layer maps each
+// to a status code in one table, and the client maps status bodies back
+// to the same sentinels, so errors.Is works identically in-process and
+// over the wire.
+var (
+	// ErrUnknownDevice reports an operation on a device ID that was
+	// never created or has been deleted.
+	ErrUnknownDevice = errors.New("unknown device")
+	// ErrDeviceExists reports a create for an ID already in the fleet.
+	ErrDeviceExists = errors.New("device already exists")
+	// ErrDeviceStopped reports a write request against a device whose
+	// memory reached end of life: zero writes were serviced.
+	ErrDeviceStopped = errors.New("device stopped: memory reached end of life")
+	// ErrDeviceCrippled reports a write request against a device whose
+	// wear-leveling has terminally ceased to function.
+	ErrDeviceCrippled = errors.New("device crippled: wear leveling ceased")
+	// ErrBusy reports that the device's request mailbox is full — the
+	// fleet's admission control. The request was not enqueued; back off
+	// and retry.
+	ErrBusy = errors.New("device busy: mailbox full")
+	// ErrFleetFull reports that creating the device would exceed the
+	// fleet's configured device capacity.
+	ErrFleetFull = errors.New("fleet full")
+	// ErrClosed reports an operation against a fleet that is shutting
+	// down or has shut down.
+	ErrClosed = errors.New("fleet closed")
+)

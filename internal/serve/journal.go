@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// The per-device spill layout. A device directory holds its immutable
+// spec, its last durable checkpoint image, and the write-ahead journal
+// of batches acknowledged since that checkpoint:
+//
+//	<fleet dir>/<device id>/spec.json
+//	<fleet dir>/<device id>/state.ckpt
+//	<fleet dir>/<device id>/journal.wal
+//
+// Durability contract: a write batch is acknowledged to the client only
+// after its journal record is synced (unless Config.DisableSync).
+// Recovery rebuilds the engine from spec.json, restores state.ckpt if
+// present, and replays the journal — the simulation is deterministic,
+// so replay reproduces the exact acknowledged state. Checkpointing
+// makes state.ckpt durable first and truncates the journal second, so
+// a crash between the two merely replays batches the checkpoint
+// already covers (replay skips records at or below the restored write
+// count).
+const (
+	specFile    = "spec.json"
+	ckptFile    = "state.ckpt"
+	journalFile = "journal.wal"
+)
+
+// journalRecord is one acknowledged batch. A count record ("c <after>")
+// records that the workload-driven write total reached after; an
+// address record ("a <after> <a1> <a2> ...") records explicit addresses
+// serviced in order, with after again the resulting total. Records
+// carry the absolute post-batch total rather than a delta so replay is
+// idempotent under the checkpoint-then-truncate race.
+type journalRecord struct {
+	after   uint64
+	addrs   []uint64 // nil for count records
+	isAddrs bool
+}
+
+// journal is the append-only write-ahead log. The owning device actor
+// is the only writer; sync-before-ack makes appended records survive a
+// process kill.
+type journal struct {
+	f    *os.File
+	sync bool
+}
+
+// openJournal opens (creating if absent) the device's journal for
+// appending.
+func openJournal(dir string, sync bool) (*journal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f, sync: sync}, nil
+}
+
+// appendCount journals a count batch whose serviced writes brought the
+// device total to after, syncing before return.
+func (j *journal) appendCount(after uint64) error {
+	var buf bytes.Buffer
+	buf.WriteByte('c')
+	buf.WriteByte(' ')
+	buf.WriteString(strconv.FormatUint(after, 10))
+	buf.WriteByte('\n')
+	return j.append(buf.Bytes())
+}
+
+// appendAddrs journals an explicit-address batch (the serviced prefix
+// only), syncing before return.
+func (j *journal) appendAddrs(after uint64, addrs []uint64) error {
+	var buf bytes.Buffer
+	buf.WriteByte('a')
+	buf.WriteByte(' ')
+	buf.WriteString(strconv.FormatUint(after, 10))
+	for _, a := range addrs {
+		buf.WriteByte(' ')
+		buf.WriteString(strconv.FormatUint(a, 10))
+	}
+	buf.WriteByte('\n')
+	return j.append(buf.Bytes())
+}
+
+func (j *journal) append(line []byte) error {
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if j.sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// reset truncates the journal after a checkpoint became durable.
+func (j *journal) reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if j.sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// close closes the journal handle.
+func (j *journal) close() error { return j.f.Close() }
+
+// readJournal parses the device's journal records in order. A torn
+// final line — a crash mid-append before the sync completed — is
+// dropped: its batch was never acknowledged.
+func readJournal(dir string) ([]journalRecord, error) {
+	data, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if n := bytes.LastIndexByte(data, '\n'); n < 0 {
+		return nil, nil // only a torn fragment (or empty)
+	} else {
+		data = data[:n+1]
+	}
+	var recs []journalRecord
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<26)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		rec, err := parseRecord(line)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// parseRecord decodes one journal line.
+func parseRecord(line string) (journalRecord, error) {
+	fields := splitFields(line)
+	if len(fields) < 2 {
+		return journalRecord{}, fmt.Errorf("serve: malformed journal record %q", line)
+	}
+	after, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return journalRecord{}, fmt.Errorf("serve: malformed journal record %q: %v", line, err)
+	}
+	switch fields[0] {
+	case "c":
+		if len(fields) != 2 {
+			return journalRecord{}, fmt.Errorf("serve: malformed journal record %q", line)
+		}
+		return journalRecord{after: after}, nil
+	case "a":
+		addrs := make([]uint64, 0, len(fields)-2)
+		for _, fld := range fields[2:] {
+			a, err := strconv.ParseUint(fld, 10, 64)
+			if err != nil {
+				return journalRecord{}, fmt.Errorf("serve: malformed journal record %q: %v", line, err)
+			}
+			addrs = append(addrs, a)
+		}
+		return journalRecord{after: after, addrs: addrs, isAddrs: true}, nil
+	}
+	return journalRecord{}, fmt.Errorf("serve: unknown journal record type %q", fields[0])
+}
+
+// splitFields splits on single spaces (the journal's only separator).
+func splitFields(line string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == ' ' {
+			if i > start {
+				out = append(out, line[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// writeFileDurable atomically replaces path with data: write to a
+// temporary sibling, sync it, rename over the target, then sync the
+// directory so the rename itself survives a crash.
+func writeFileDurable(path string, data []byte, sync bool) error {
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		return syncDir(dir)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making renames and creates inside it
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

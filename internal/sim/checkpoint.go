@@ -179,10 +179,12 @@ func (e *Engine) decodeState(d *ckpt.Decoder) error {
 		return err
 	}
 	if len(tail) > addrBatch {
-		return fmt.Errorf("sim: checkpoint address buffer holds %d entries, max %d", len(tail), addrBatch)
+		return fmt.Errorf("sim: checkpoint address buffer holds %d entries, max %d: %w",
+			len(tail), addrBatch, ckpt.ErrBadCheckpoint)
 	}
 	if e.batchGen == nil && len(tail) > 0 {
-		return fmt.Errorf("sim: checkpoint has a prefetch buffer but the workload has no batch path")
+		return fmt.Errorf("sim: checkpoint has a prefetch buffer but the workload has no batch path: %w",
+			ckpt.ErrBadCheckpoint)
 	}
 	e.writes = writes
 	e.stopped = stopped
@@ -354,7 +356,8 @@ func (e *Engine) decodeConfig(d *ckpt.Decoder) error {
 	}
 	for _, chk := range checks {
 		if !chk.match {
-			return fmt.Errorf("sim: checkpoint was taken under a different configuration (%s differs)", chk.field)
+			return fmt.Errorf("sim: checkpoint was taken under a different configuration (%s differs): %w",
+				chk.field, ErrConfigMismatch)
 		}
 	}
 	return nil

@@ -6,6 +6,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"wlreviver/internal/cache"
@@ -261,13 +263,23 @@ type Engine struct {
 const addrBatch = 512
 
 // NewEngine builds the system and attaches the workload generator, whose
-// block space must match cfg.Blocks.
+// block space must match cfg.Blocks. Every construction error wraps
+// ErrBadConfig: nothing but the configuration can make it fail.
 func NewEngine(cfg Config, gen trace.Generator) (*Engine, error) {
+	e, err := newEngine(cfg, gen)
+	if err != nil && !errors.Is(err, ErrBadConfig) {
+		err = fmt.Errorf("%w: %w", err, ErrBadConfig)
+	}
+	return e, err
+}
+
+func newEngine(cfg Config, gen trace.Generator) (*Engine, error) {
 	if cfg.Blocks == 0 || cfg.BlocksPerPage == 0 {
-		return nil, fmt.Errorf("sim: Blocks and BlocksPerPage must be positive")
+		return nil, fmt.Errorf("sim: Blocks and BlocksPerPage must be positive: %w", ErrBadConfig)
 	}
 	if gen.NumBlocks() != cfg.Blocks {
-		return nil, fmt.Errorf("sim: workload covers %d blocks, system has %d", gen.NumBlocks(), cfg.Blocks)
+		return nil, fmt.Errorf("sim: workload covers %d blocks, system has %d: %w",
+			gen.NumBlocks(), cfg.Blocks, ErrBadConfig)
 	}
 
 	var remapCache *cache.Cache
@@ -286,8 +298,8 @@ func NewEngine(cfg Config, gen trace.Generator) (*Engine, error) {
 	var lv wear.Leveler
 	if cfg.CustomLeveler != nil {
 		if cfg.CustomLeveler.NumPAs() != cfg.Blocks {
-			return nil, fmt.Errorf("sim: custom leveler covers %d PAs, system has %d blocks",
-				cfg.CustomLeveler.NumPAs(), cfg.Blocks)
+			return nil, fmt.Errorf("sim: custom leveler covers %d PAs, system has %d blocks: %w",
+				cfg.CustomLeveler.NumPAs(), cfg.Blocks, ErrBadConfig)
 		}
 		lv = cfg.CustomLeveler
 	}
@@ -341,7 +353,7 @@ func NewEngine(cfg Config, gen trace.Generator) (*Engine, error) {
 		case LevelerNone:
 			lv = wear.Static{Size: cfg.Blocks}
 		default:
-			return nil, fmt.Errorf("sim: unknown leveler %d", cfg.Leveler)
+			return nil, fmt.Errorf("sim: unknown leveler %d: %w", cfg.Leveler, ErrBadConfig)
 		}
 	}
 
@@ -384,7 +396,7 @@ func NewEngine(cfg Config, gen trace.Generator) (*Engine, error) {
 	case ECCPAYG:
 		scheme, err = ecc.NewPAYG(ecc.DefaultPAYGConfig(dev.NumBlocks()), dev.NumBlocks())
 	default:
-		err = fmt.Errorf("sim: unknown ECC %d", cfg.ECC)
+		err = fmt.Errorf("sim: unknown ECC %d: %w", cfg.ECC, ErrBadConfig)
 	}
 	if err != nil {
 		return nil, err
@@ -426,7 +438,7 @@ func NewEngine(cfg Config, gen trace.Generator) (*Engine, error) {
 			RemapCache:      remapCache,
 		}, lv, be, osm)
 	default:
-		err = fmt.Errorf("sim: unknown protector %d", cfg.Protector)
+		err = fmt.Errorf("sim: unknown protector %d: %w", cfg.Protector, ErrBadConfig)
 	}
 	if err != nil {
 		return nil, err
@@ -555,24 +567,32 @@ func (e *Engine) Step() bool {
 	return e.writeTagged(e.nextAddr(), e.writes)
 }
 
-// Run services up to n writes, invoking onWrite (if non-nil) after each.
-// It returns the number of writes actually serviced.
+// runCtxBatch is RunContext's cancellation-check granularity in writes:
+// large enough that the per-batch ctx.Err() call vanishes against the
+// work, small enough that cancellation lands promptly at serving scale.
+const runCtxBatch = 1 << 15
+
+// RunContext services up to n writes, invoking onWrite (if non-nil)
+// after each with the cumulative count serviced by this call. It is the
+// canonical run entry point — Run and RunN are thin wrappers over it.
 //
-// This is the single run loop — RunN delegates here — so the
-// stopped-recheck semantics live in exactly one place: stopped is
-// rechecked every iteration, not just at entry, because writeTagged can
-// set it while still reporting the write as serviced (the LLS crippling
-// write is terminal), and the batch must halt there exactly as a
-// Step-driven loop would.
-func (e *Engine) Run(n uint64, onWrite func(done uint64)) uint64 {
+// Cancellation is observed at batch boundaries only (every runCtxBatch
+// writes), never mid-batch, so the simulated outcome stays a pure
+// function of the configuration and the write count actually serviced:
+// a cancelled run is byte-identical to an uninterrupted run truncated
+// at the same count. The hot loop itself carries no clock and no
+// per-write context check. On cancellation the count serviced so far is
+// returned alongside ctx.Err(); the engine remains valid and can
+// continue with a later call.
+func (e *Engine) RunContext(ctx context.Context, n uint64, onWrite func(done uint64)) (uint64, error) {
 	crashing := false
 	if e.crashAt != 0 {
 		if e.crashed {
-			return 0
+			return 0, nil
 		}
 		if e.writes >= e.crashAt {
 			e.crashed = true
-			return 0
+			return 0, nil
 		}
 		if left := e.crashAt - e.writes; n >= left {
 			n = left
@@ -580,15 +600,49 @@ func (e *Engine) Run(n uint64, onWrite func(done uint64)) uint64 {
 		}
 	}
 	var done uint64
-	for done < n && !e.stopped && e.writeTagged(e.nextAddr(), e.writes) {
-		done++
-		if onWrite != nil {
-			onWrite(done)
+	for done < n {
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+		batch := n - done
+		if batch > runCtxBatch {
+			batch = runCtxBatch
+		}
+		got := e.runBatch(batch, done, onWrite)
+		done += got
+		if got < batch {
+			break // end of life (or terminal crippling) inside the batch
 		}
 	}
 	if crashing && done == n {
 		e.crashed = true
 	}
+	return done, nil
+}
+
+// runBatch is the single tight write loop — every run entry point
+// funnels here — so the stopped-recheck semantics live in exactly one
+// place: stopped is rechecked every iteration, not just at entry,
+// because writeTagged can set it while still reporting the write as
+// serviced (the LLS crippling write is terminal), and the batch must
+// halt there exactly as a Step-driven loop would. base offsets the
+// cumulative count reported to onWrite across RunContext's batches.
+func (e *Engine) runBatch(n, base uint64, onWrite func(done uint64)) uint64 {
+	var done uint64
+	for done < n && !e.stopped && e.writeTagged(e.nextAddr(), e.writes) {
+		done++
+		if onWrite != nil {
+			onWrite(base + done)
+		}
+	}
+	return done
+}
+
+// Run services up to n writes, invoking onWrite (if non-nil) after
+// each. It returns the number of writes actually serviced. Run is
+// RunContext without cancellation.
+func (e *Engine) Run(n uint64, onWrite func(done uint64)) uint64 {
+	done, _ := e.RunContext(context.Background(), n, onWrite)
 	return done
 }
 

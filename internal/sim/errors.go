@@ -1,0 +1,23 @@
+package sim
+
+import "errors"
+
+// Sentinel errors for the package's public construction and restore
+// surface. Callers — most prominently the serve layer, which maps each
+// sentinel to one HTTP status — classify failures with errors.Is
+// instead of matching message text; the descriptive fmt.Errorf messages
+// wrap these so both the class and the detail survive.
+var (
+	// ErrBadConfig reports a Config (or workload/config combination)
+	// that cannot assemble a system: zero geometry, mismatched address
+	// spaces, unknown component selectors.
+	ErrBadConfig = errors.New("invalid configuration")
+
+	// ErrConfigMismatch reports a checkpoint image taken under a
+	// different configuration than the engine it is being restored into.
+	ErrConfigMismatch = errors.New("checkpoint configuration mismatch")
+
+	// ErrUnknownExperiment reports an experiment name absent from the
+	// registry.
+	ErrUnknownExperiment = errors.New("unknown experiment")
+)

@@ -1,0 +1,57 @@
+package sim
+
+import "fmt"
+
+// ParseLevelerKind maps a scheme's display name (the String() form:
+// "SG", "SR", "SG-R", "none") back to its LevelerKind. The empty string
+// selects the DefaultConfig scheme, Start-Gap.
+func ParseLevelerKind(s string) (LevelerKind, error) {
+	switch s {
+	case "":
+		return LevelerStartGap, nil
+	case "none":
+		return LevelerNone, nil
+	case "SG":
+		return LevelerStartGap, nil
+	case "SR":
+		return LevelerSecurityRefresh, nil
+	case "SG-R":
+		return LevelerRegionedStartGap, nil
+	}
+	return 0, fmt.Errorf("sim: unknown leveler %q (known: none, SG, SR, SG-R): %w", s, ErrBadConfig)
+}
+
+// ParseProtectorKind maps a framework's display name ("WLR", "FREE-p",
+// "LLS", "DRM", "none") back to its ProtectorKind. The empty string
+// selects the DefaultConfig framework, WL-Reviver.
+func ParseProtectorKind(s string) (ProtectorKind, error) {
+	switch s {
+	case "":
+		return ProtectorWLReviver, nil
+	case "none":
+		return ProtectorNone, nil
+	case "WLR":
+		return ProtectorWLReviver, nil
+	case "FREE-p":
+		return ProtectorFREEp, nil
+	case "LLS":
+		return ProtectorLLS, nil
+	case "DRM":
+		return ProtectorDRM, nil
+	}
+	return 0, fmt.Errorf("sim: unknown protector %q (known: none, WLR, FREE-p, LLS, DRM): %w", s, ErrBadConfig)
+}
+
+// ParseECCKind maps a scheme's display name ("ECP6", "ECP1", "PAYG")
+// back to its ECCKind. The empty string selects ECP6.
+func ParseECCKind(s string) (ECCKind, error) {
+	switch s {
+	case "", "ECP6":
+		return ECCECP6, nil
+	case "ECP1":
+		return ECCECP1, nil
+	case "PAYG":
+		return ECCPAYG, nil
+	}
+	return 0, fmt.Errorf("sim: unknown ECC %q (known: ECP6, ECP1, PAYG): %w", s, ErrBadConfig)
+}

@@ -85,7 +85,73 @@ func LookupExperiment(name string) (Experiment, error) {
 	}
 	known := ExperimentNames()
 	sort.Strings(known)
-	return Experiment{}, fmt.Errorf("sim: unknown experiment %q (known: %v)", name, known)
+	return Experiment{}, fmt.Errorf("sim: unknown experiment %q (known: %v): %w", name, known, ErrUnknownExperiment)
+}
+
+// DeviceStack is a named ECC/leveler/protector stack drawn from the
+// experiment registry's sweeps, so a fleet tenant can ask for "the
+// stack Figure 6's ECP6-SG-WLR arm runs" by name instead of spelling
+// out the component selectors. Names are qualified by the experiment
+// that defines them ("fig6/ECP6-SG-WLR", "fig7/FREE-p(10%)", ...).
+type DeviceStack struct {
+	// Name is the registry key, "<experiment>/<arm>".
+	Name string
+	// ECC, Leveler, Protector select the stack's components.
+	ECC       ECCKind
+	Leveler   LevelerKind
+	Protector ProtectorKind
+	// FreepReserveFraction is FREE-p's pre-reservation (fig7 arms).
+	FreepReserveFraction float64
+}
+
+// DeviceStacks returns the named stacks in registry order: Figure 6's
+// six ECC/leveler arms, Figure 7's protection ladder and Figure 8's
+// WLR-vs-LLS pair — every per-engine configuration the paper's
+// per-workload figures sweep.
+func DeviceStacks() []DeviceStack {
+	stacks := []DeviceStack{
+		{Name: "fig6/ECP6", ECC: ECCECP6, Leveler: LevelerNone, Protector: ProtectorNone},
+		{Name: "fig6/PAYG", ECC: ECCPAYG, Leveler: LevelerNone, Protector: ProtectorNone},
+		{Name: "fig6/ECP6-SG", ECC: ECCECP6, Leveler: LevelerStartGap, Protector: ProtectorNone},
+		{Name: "fig6/PAYG-SG", ECC: ECCPAYG, Leveler: LevelerStartGap, Protector: ProtectorNone},
+		{Name: "fig6/ECP6-SG-WLR", ECC: ECCECP6, Leveler: LevelerStartGap, Protector: ProtectorWLReviver},
+		{Name: "fig6/PAYG-SG-WLR", ECC: ECCPAYG, Leveler: LevelerStartGap, Protector: ProtectorWLReviver},
+		{Name: "fig7/WL-Reviver", ECC: ECCECP6, Leveler: LevelerStartGap, Protector: ProtectorWLReviver},
+	}
+	for _, pct := range []float64{0, 0.05, 0.10, 0.15} {
+		stacks = append(stacks, DeviceStack{
+			Name: fmt.Sprintf("fig7/FREE-p(%.0f%%)", pct*100),
+			ECC:  ECCECP6, Leveler: LevelerStartGap, Protector: ProtectorFREEp,
+			FreepReserveFraction: pct,
+		})
+	}
+	return append(stacks,
+		DeviceStack{Name: "fig8/WL-Reviver", ECC: ECCECP6, Leveler: LevelerStartGap, Protector: ProtectorWLReviver},
+		DeviceStack{Name: "fig8/LLS", ECC: ECCECP6, Leveler: LevelerStartGap, Protector: ProtectorLLS},
+	)
+}
+
+// DeviceStackNames returns the registered stack names in order.
+func DeviceStackNames() []string {
+	stacks := DeviceStacks()
+	names := make([]string, len(stacks))
+	for i, s := range stacks {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// LookupDeviceStack returns the named stack, or an error listing the
+// known names.
+func LookupDeviceStack(name string) (DeviceStack, error) {
+	for _, s := range DeviceStacks() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	known := DeviceStackNames()
+	sort.Strings(known)
+	return DeviceStack{}, fmt.Errorf("sim: unknown device stack %q (known: %v): %w", name, known, ErrUnknownExperiment)
 }
 
 // ResultPair bundles a per-workload figure's runs over the two reference

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -41,6 +42,11 @@ func BenchmarkNames() []string {
 	return names
 }
 
+// ErrUnknownWorkload reports a workload or benchmark name that no
+// generator answers to. Every lookup error in this package wraps it, so
+// callers classify with errors.Is instead of string matching.
+var ErrUnknownWorkload = errors.New("unknown workload")
+
 // LookupBenchmark returns the spec for a named benchmark.
 func LookupBenchmark(name string) (BenchmarkSpec, error) {
 	for _, b := range Benchmarks {
@@ -50,7 +56,7 @@ func LookupBenchmark(name string) (BenchmarkSpec, error) {
 	}
 	known := BenchmarkNames()
 	sort.Strings(known)
-	return BenchmarkSpec{}, fmt.Errorf("trace: unknown benchmark %q (known: %v)", name, known)
+	return BenchmarkSpec{}, fmt.Errorf("trace: unknown benchmark %q (known: %v): %w", name, known, ErrUnknownWorkload)
 }
 
 // NewBenchmark builds the synthetic stand-in for a Table I benchmark over

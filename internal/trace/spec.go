@@ -1,0 +1,79 @@
+package trace
+
+import "fmt"
+
+// Generic workload kinds for Spec.Kind. Any Table I benchmark name
+// (see BenchmarkNames) is also a valid kind.
+const (
+	// KindUniform writes uniformly at random over Blocks.
+	KindUniform = "uniform"
+	// KindSkewed is a stationary workload calibrated to CoV, with
+	// page-correlated weights (PageBlocks blocks per page).
+	KindSkewed = "skewed"
+	// KindHammer repeatedly writes the Targets addresses round-robin.
+	KindHammer = "hammer"
+	// KindBirthday is Seznec's birthday-paradox attack: bursts of Burst
+	// writes over random SetSize-address sets.
+	KindBirthday = "birthday"
+)
+
+// Spec declares a workload generator as plain data. It is the wire
+// form of the public wlreviver.WorkloadSpec: JSON-taggable so fleet
+// clients can post it, and resolvable inside the module without the
+// import cycle the root package would create. Kind and Blocks are
+// required; the remaining fields apply to the kinds noted on each.
+type Spec struct {
+	// Kind selects the generator family: KindUniform, KindSkewed,
+	// KindHammer, KindBirthday, or a Table I benchmark name.
+	Kind string `json:"kind"`
+	// Blocks is the software-visible address space in blocks.
+	Blocks uint64 `json:"blocks"`
+	// PageBlocks is the page size in blocks driving page-correlated
+	// skew (skewed and benchmark kinds).
+	PageBlocks uint64 `json:"page_blocks,omitempty"`
+	// CoV is the target write coefficient of variation (skewed kind).
+	CoV float64 `json:"cov,omitempty"`
+	// Targets are the hammered block addresses (hammer kind).
+	Targets []uint64 `json:"targets,omitempty"`
+	// SetSize is the number of simultaneously attacked addresses per
+	// burst (birthday kind).
+	SetSize int `json:"set_size,omitempty"`
+	// Burst is the writes issued per attacked set (birthday kind).
+	Burst uint64 `json:"burst,omitempty"`
+	// Seed drives the generator's randomness (all kinds except hammer,
+	// which is deterministic in Targets).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// GenericKinds lists the non-benchmark kinds for error messages.
+func GenericKinds() []string {
+	return []string{KindUniform, KindSkewed, KindHammer, KindBirthday}
+}
+
+// NewFromSpec builds a generator from its declarative spec — the single
+// construction path both the public NewWorkload and the fleet daemon
+// delegate to.
+func NewFromSpec(spec Spec) (Generator, error) {
+	switch spec.Kind {
+	case "":
+		return nil, fmt.Errorf("trace: Spec.Kind is required (generic kinds: %v; benchmarks: %v): %w",
+			GenericKinds(), BenchmarkNames(), ErrUnknownWorkload)
+	case KindUniform:
+		return NewUniform(spec.Blocks, spec.Seed)
+	case KindSkewed:
+		return NewWeighted(WeightedConfig{
+			NumBlocks: spec.Blocks, PageBlocks: spec.PageBlocks,
+			TargetCoV: spec.CoV, Seed: spec.Seed,
+		})
+	case KindHammer:
+		return NewHammer(spec.Blocks, spec.Targets)
+	case KindBirthday:
+		return NewBirthdayParadox(spec.Blocks, spec.SetSize, spec.Burst, spec.Seed)
+	default:
+		if _, err := LookupBenchmark(spec.Kind); err != nil {
+			return nil, fmt.Errorf("trace: unknown workload kind %q (generic kinds: %v; benchmarks: %v): %w",
+				spec.Kind, GenericKinds(), BenchmarkNames(), ErrUnknownWorkload)
+		}
+		return NewBenchmark(spec.Kind, spec.Blocks, spec.PageBlocks, spec.Seed)
+	}
+}

@@ -1,0 +1,87 @@
+#!/bin/sh
+# serve_smoke.sh — wlserved crash-durability smoke (also: `make serve-smoke`).
+#
+# Proves the daemon's headline contract end to end, over real processes
+# and real fsync: a fleet that is kill -9'd mid-run and restarted over
+# its spill directory converges to the byte-identical per-device state
+# of an uninterrupted run.
+#
+#   1. Reference: start wlserved, top 50 devices up to the target with
+#      wlload, record every device's metrics and checkpoint hashes.
+#   2. Crash: fresh spill dir, same traffic — but the daemon is
+#      kill -9'd while wlload is mid-run. Restart it over the same
+#      spill dir, re-run wlload (it tops surviving state up to the same
+#      target), record the hashes.
+#   3. The two statefiles must be byte-identical.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${SERVE_SMOKE_PORT:-18436}"
+ADDR="127.0.0.1:$PORT"
+BASE="http://$ADDR"
+DEVICES=50
+TARGET=60000
+LOAD_FLAGS="-addr $BASE -devices $DEVICES -target $TARGET -blocks 1024 -page-blocks 16 -concurrency 8"
+
+WORK=$(mktemp -d)
+DPID=""
+cleanup() {
+	[ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building wlserved and wlload"
+go build -o "$WORK/wlserved" ./cmd/wlserved
+go build -o "$WORK/wlload" ./cmd/wlload
+
+start_daemon() { # $1 = spill dir
+	"$WORK/wlserved" -addr "$ADDR" -spill "$1" -max-resident 16 &
+	DPID=$!
+}
+
+# wait_ready polls the daemon with a no-op wlload run (0-write top-up of
+# device 0) until it answers, so the script needs no curl/wget.
+wait_ready() {
+	i=0
+	until "$WORK/wlload" -addr "$BASE" -devices 1 -target 0 \
+		-blocks 1024 -page-blocks 16 >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 100 ]; then
+			echo "serve_smoke: daemon did not become ready" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+echo "== reference run (uninterrupted)"
+start_daemon "$WORK/ref"
+wait_ready
+$WORK/wlload $LOAD_FLAGS -statefile "$WORK/ref.json"
+kill "$DPID" && wait "$DPID" || true
+DPID=""
+
+echo "== crash run (kill -9 mid-load, restart, top up)"
+start_daemon "$WORK/crash"
+wait_ready
+$WORK/wlload $LOAD_FLAGS >/dev/null 2>&1 &
+LPID=$!
+sleep 0.4
+kill -9 "$DPID"
+wait "$LPID" 2>/dev/null || true # wlload fails once the daemon is gone
+DPID=""
+start_daemon "$WORK/crash"
+wait_ready
+$WORK/wlload $LOAD_FLAGS -statefile "$WORK/crash.json"
+kill "$DPID" && wait "$DPID" || true
+DPID=""
+
+echo "== comparing statefiles"
+if ! cmp -s "$WORK/ref.json" "$WORK/crash.json"; then
+	echo "serve_smoke: crash+restart state diverges from uninterrupted run" >&2
+	diff -u "$WORK/ref.json" "$WORK/crash.json" >&2 || true
+	exit 1
+fi
+echo "serve_smoke: $DEVICES devices byte-identical after kill -9 + restart"

@@ -89,49 +89,6 @@ func New(cfg Config, workload Workload) (*System, error) {
 	return sim.NewEngine(cfg, workload)
 }
 
-// NewUniformWorkload returns uniformly random writes over blocks.
-//
-// Deprecated: use NewWorkload with WorkloadSpec{Kind: WorkloadUniform}.
-func NewUniformWorkload(blocks, seed uint64) (Workload, error) {
-	return NewWorkload(WorkloadSpec{Kind: WorkloadUniform, Blocks: blocks, Seed: seed})
-}
-
-// NewBenchmarkWorkload returns the synthetic stand-in for one of the
-// paper's Table I benchmarks ("blackscholes", "streamcluster",
-// "swaptions", "mg", "fft", "ocean", "radix", "water-spatial"),
-// calibrated to its write CoV.
-//
-// Deprecated: use NewWorkload with the benchmark name as the Kind.
-func NewBenchmarkWorkload(name string, blocks, pageBlocks, seed uint64) (Workload, error) {
-	return NewWorkload(WorkloadSpec{Kind: name, Blocks: blocks, PageBlocks: pageBlocks, Seed: seed})
-}
-
-// NewSkewedWorkload returns a stationary workload calibrated to an
-// arbitrary write CoV.
-//
-// Deprecated: use NewWorkload with WorkloadSpec{Kind: WorkloadSkewed}.
-func NewSkewedWorkload(blocks, pageBlocks uint64, cov float64, seed uint64) (Workload, error) {
-	return NewWorkload(WorkloadSpec{
-		Kind: WorkloadSkewed, Blocks: blocks, PageBlocks: pageBlocks, CoV: cov, Seed: seed,
-	})
-}
-
-// NewHammerWorkload returns a malicious single-set hammering attack.
-//
-// Deprecated: use NewWorkload with WorkloadSpec{Kind: WorkloadHammer}.
-func NewHammerWorkload(blocks uint64, targets []uint64) (Workload, error) {
-	return NewWorkload(WorkloadSpec{Kind: WorkloadHammer, Blocks: blocks, Targets: targets})
-}
-
-// NewBirthdayParadoxWorkload returns Seznec's birthday-paradox attack.
-//
-// Deprecated: use NewWorkload with WorkloadSpec{Kind: WorkloadBirthday}.
-func NewBirthdayParadoxWorkload(blocks uint64, setSize int, burst, seed uint64) (Workload, error) {
-	return NewWorkload(WorkloadSpec{
-		Kind: WorkloadBirthday, Blocks: blocks, SetSize: setSize, Burst: burst, Seed: seed,
-	})
-}
-
 // BenchmarkNames lists the Table I benchmark names.
 func BenchmarkNames() []string { return trace.BenchmarkNames() }
 
@@ -175,11 +132,6 @@ type (
 // run resumed from its checkpoints is byte-identical to an
 // uninterrupted run; see EXPERIMENTS.md § Checkpoint format.
 type CheckpointPlan = sim.CheckpointPlan
-
-// ErrCrashed reports that an injected crash fault halted a sweep; a
-// later run with CheckpointPlan.Resume converges to the uninterrupted
-// result.
-var ErrCrashed = sim.ErrCrashed
 
 // Experiment is one registered evaluation preset (name, doc, runner).
 type Experiment = sim.Experiment

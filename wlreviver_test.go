@@ -11,7 +11,7 @@ func TestQuickstartFlow(t *testing.T) {
 	cfg.BlocksPerPage = 16
 	cfg.MeanEndurance = 800
 	cfg.GapWritePeriod = 20
-	w, err := NewBenchmarkWorkload("mg", cfg.Blocks, cfg.BlocksPerPage, 1)
+	w, err := NewWorkload(WorkloadSpec{Kind: "mg", Blocks: cfg.Blocks, PageBlocks: cfg.BlocksPerPage, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,19 +32,19 @@ func TestQuickstartFlow(t *testing.T) {
 }
 
 func TestWorkloadConstructors(t *testing.T) {
-	if _, err := NewUniformWorkload(64, 1); err != nil {
+	if _, err := NewWorkload(WorkloadSpec{Kind: WorkloadUniform, Blocks: 64, Seed: 1}); err != nil {
 		t.Error(err)
 	}
-	if _, err := NewSkewedWorkload(64, 16, 5, 1); err != nil {
+	if _, err := NewWorkload(WorkloadSpec{Kind: WorkloadSkewed, Blocks: 64, PageBlocks: 16, CoV: 5, Seed: 1}); err != nil {
 		t.Error(err)
 	}
-	if _, err := NewHammerWorkload(64, []uint64{1, 2}); err != nil {
+	if _, err := NewWorkload(WorkloadSpec{Kind: WorkloadHammer, Blocks: 64, Targets: []uint64{1, 2}}); err != nil {
 		t.Error(err)
 	}
-	if _, err := NewBirthdayParadoxWorkload(64, 4, 100, 1); err != nil {
+	if _, err := NewWorkload(WorkloadSpec{Kind: WorkloadBirthday, Blocks: 64, SetSize: 4, Burst: 100, Seed: 1}); err != nil {
 		t.Error(err)
 	}
-	if _, err := NewBenchmarkWorkload("nope", 64, 16, 1); err == nil {
+	if _, err := NewWorkload(WorkloadSpec{Kind: "nope", Blocks: 64, PageBlocks: 16, Seed: 1}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 	names := BenchmarkNames()

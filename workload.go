@@ -1,8 +1,6 @@
 package wlreviver
 
 import (
-	"fmt"
-
 	"wlreviver/internal/trace"
 )
 
@@ -10,72 +8,27 @@ import (
 // name (see BenchmarkNames) is also a valid kind.
 const (
 	// WorkloadUniform writes uniformly at random over Blocks.
-	WorkloadUniform = "uniform"
+	WorkloadUniform = trace.KindUniform
 	// WorkloadSkewed is a stationary workload calibrated to CoV, with
 	// page-correlated weights (PageBlocks blocks per page).
-	WorkloadSkewed = "skewed"
+	WorkloadSkewed = trace.KindSkewed
 	// WorkloadHammer repeatedly writes the Targets addresses round-robin
 	// (malicious single-set hammering).
-	WorkloadHammer = "hammer"
+	WorkloadHammer = trace.KindHammer
 	// WorkloadBirthday is Seznec's birthday-paradox attack: bursts of
 	// Burst writes over random SetSize-address sets.
-	WorkloadBirthday = "birthday"
+	WorkloadBirthday = trace.KindBirthday
 )
 
 // WorkloadSpec declares a workload for NewWorkload. Kind and Blocks are
-// always required; the remaining fields apply to the kinds noted on each.
-type WorkloadSpec struct {
-	// Kind selects the generator family: WorkloadUniform, WorkloadSkewed,
-	// WorkloadHammer, WorkloadBirthday, or a Table I benchmark name
-	// ("mg", "ocean", ... — see BenchmarkNames).
-	Kind string
-	// Blocks is the software-visible address space in blocks.
-	Blocks uint64
-	// PageBlocks is the page size in blocks driving page-correlated skew
-	// (skewed and benchmark kinds).
-	PageBlocks uint64
-	// CoV is the target write coefficient of variation (skewed kind).
-	CoV float64
-	// Targets are the hammered block addresses (hammer kind).
-	Targets []uint64
-	// SetSize is the number of simultaneously attacked addresses per
-	// burst (birthday kind).
-	SetSize int
-	// Burst is the writes issued per attacked set (birthday kind).
-	Burst uint64
-	// Seed drives the generator's randomness (all kinds except hammer,
-	// which is deterministic in Targets).
-	Seed uint64
-}
+// always required; the remaining fields apply to the kinds noted on
+// each field. The type is JSON-taggable — it is the same wire form the
+// fleet daemon (cmd/wlserved) accepts in device-creation requests.
+type WorkloadSpec = trace.Spec
 
 // NewWorkload builds a workload from its declarative spec — the single
-// construction path the per-kind convenience wrappers delegate to.
+// construction path for every generator family. Unknown or missing
+// kinds report ErrUnknownWorkload.
 func NewWorkload(spec WorkloadSpec) (Workload, error) {
-	switch spec.Kind {
-	case "":
-		return nil, fmt.Errorf("wlreviver: WorkloadSpec.Kind is required (generic kinds: %v; benchmarks: %v)",
-			genericWorkloadKinds(), BenchmarkNames())
-	case WorkloadUniform:
-		return trace.NewUniform(spec.Blocks, spec.Seed)
-	case WorkloadSkewed:
-		return trace.NewWeighted(trace.WeightedConfig{
-			NumBlocks: spec.Blocks, PageBlocks: spec.PageBlocks,
-			TargetCoV: spec.CoV, Seed: spec.Seed,
-		})
-	case WorkloadHammer:
-		return trace.NewHammer(spec.Blocks, spec.Targets)
-	case WorkloadBirthday:
-		return trace.NewBirthdayParadox(spec.Blocks, spec.SetSize, spec.Burst, spec.Seed)
-	default:
-		if _, err := trace.LookupBenchmark(spec.Kind); err != nil {
-			return nil, fmt.Errorf("wlreviver: unknown workload kind %q (generic kinds: %v; benchmarks: %v)",
-				spec.Kind, genericWorkloadKinds(), BenchmarkNames())
-		}
-		return trace.NewBenchmark(spec.Kind, spec.Blocks, spec.PageBlocks, spec.Seed)
-	}
-}
-
-// genericWorkloadKinds lists the non-benchmark kinds for error messages.
-func genericWorkloadKinds() []string {
-	return []string{WorkloadUniform, WorkloadSkewed, WorkloadHammer, WorkloadBirthday}
+	return trace.NewFromSpec(spec)
 }

@@ -1,6 +1,7 @@
 package wlreviver
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -15,53 +16,32 @@ func drain(t *testing.T, w Workload, n int) []uint64 {
 	return out
 }
 
-// TestDeprecatedWrappersMatchSpec pins the compatibility contract of the
-// workload redesign: every deprecated constructor yields the exact
-// address stream of its WorkloadSpec equivalent.
-func TestDeprecatedWrappersMatchSpec(t *testing.T) {
+// TestWorkloadSpecDeterministic pins the redesigned construction
+// contract: the same WorkloadSpec always yields the exact same address
+// stream, across every generator family.
+func TestWorkloadSpecDeterministic(t *testing.T) {
 	const n = 2048
 	cases := []struct {
-		name    string
-		wrapped func() (Workload, error)
-		spec    WorkloadSpec
+		name string
+		spec WorkloadSpec
 	}{
-		{
-			"uniform",
-			func() (Workload, error) { return NewUniformWorkload(256, 7) },
-			WorkloadSpec{Kind: WorkloadUniform, Blocks: 256, Seed: 7},
-		},
-		{
-			"benchmark",
-			func() (Workload, error) { return NewBenchmarkWorkload("mg", 256, 16, 7) },
-			WorkloadSpec{Kind: "mg", Blocks: 256, PageBlocks: 16, Seed: 7},
-		},
-		{
-			"skewed",
-			func() (Workload, error) { return NewSkewedWorkload(256, 16, 4, 7) },
-			WorkloadSpec{Kind: WorkloadSkewed, Blocks: 256, PageBlocks: 16, CoV: 4, Seed: 7},
-		},
-		{
-			"hammer",
-			func() (Workload, error) { return NewHammerWorkload(256, []uint64{3, 5, 9}) },
-			WorkloadSpec{Kind: WorkloadHammer, Blocks: 256, Targets: []uint64{3, 5, 9}},
-		},
-		{
-			"birthday",
-			func() (Workload, error) { return NewBirthdayParadoxWorkload(256, 8, 100, 7) },
-			WorkloadSpec{Kind: WorkloadBirthday, Blocks: 256, SetSize: 8, Burst: 100, Seed: 7},
-		},
+		{"uniform", WorkloadSpec{Kind: WorkloadUniform, Blocks: 256, Seed: 7}},
+		{"benchmark", WorkloadSpec{Kind: "mg", Blocks: 256, PageBlocks: 16, Seed: 7}},
+		{"skewed", WorkloadSpec{Kind: WorkloadSkewed, Blocks: 256, PageBlocks: 16, CoV: 4, Seed: 7}},
+		{"hammer", WorkloadSpec{Kind: WorkloadHammer, Blocks: 256, Targets: []uint64{3, 5, 9}}},
+		{"birthday", WorkloadSpec{Kind: WorkloadBirthday, Blocks: 256, SetSize: 8, Burst: 100, Seed: 7}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			old, err := tc.wrapped()
+			first, err := NewWorkload(tc.spec)
 			if err != nil {
 				t.Fatal(err)
 			}
-			spec, err := NewWorkload(tc.spec)
+			second, err := NewWorkload(tc.spec)
 			if err != nil {
 				t.Fatal(err)
 			}
-			a, b := drain(t, old, n), drain(t, spec, n)
+			a, b := drain(t, first, n), drain(t, second, n)
 			for i := range a {
 				if a[i] != b[i] {
 					t.Fatalf("streams diverge at write %d: %d vs %d", i, a[i], b[i])
@@ -72,13 +52,19 @@ func TestDeprecatedWrappersMatchSpec(t *testing.T) {
 }
 
 func TestNewWorkloadErrors(t *testing.T) {
-	if _, err := NewWorkload(WorkloadSpec{Blocks: 64}); err == nil ||
-		!strings.Contains(err.Error(), "Kind is required") {
+	_, err := NewWorkload(WorkloadSpec{Blocks: 64})
+	if err == nil || !strings.Contains(err.Error(), "Kind is required") {
 		t.Errorf("empty kind: %v", err)
 	}
-	_, err := NewWorkload(WorkloadSpec{Kind: "nosuch", Blocks: 64})
+	if !errors.Is(err, ErrUnknownWorkload) {
+		t.Errorf("empty kind should wrap ErrUnknownWorkload, got %v", err)
+	}
+	_, err = NewWorkload(WorkloadSpec{Kind: "nosuch", Blocks: 64})
 	if err == nil {
 		t.Fatal("unknown kind accepted")
+	}
+	if !errors.Is(err, ErrUnknownWorkload) {
+		t.Errorf("unknown kind should wrap ErrUnknownWorkload, got %v", err)
 	}
 	for _, want := range []string{"nosuch", WorkloadUniform, "mg"} {
 		if !strings.Contains(err.Error(), want) {
