@@ -52,6 +52,10 @@ func (f *Fleet) handleDelete(d *device, r *request) {
 	delete(f.devices, d.id)
 	res := f.resident[d.id]
 	delete(f.resident, d.id)
+	// Releasing disk ownership makes any in-flight spill of an evicted
+	// predecessor a no-op, so it cannot recreate files after the
+	// removal below.
+	d.cur = nil
 	f.drainLocked(d, fmt.Errorf("serve: device %q: %w", d.id, ErrUnknownDevice))
 	f.mu.Unlock()
 
@@ -62,6 +66,12 @@ func (f *Fleet) handleDelete(d *device, r *request) {
 		_ = res.jl.close()
 	}
 	err := os.RemoveAll(d.dir)
+	if err == nil && !f.cfg.DisableSync {
+		// Sync the fleet directory so the acknowledged deletion
+		// survives a crash — otherwise the device's spec.json could
+		// reappear and be re-registered by the next Open.
+		err = syncDir(f.cfg.Dir)
+	}
 	d.diskMu.Unlock()
 	r.reply <- response{err: err}
 }

@@ -60,6 +60,10 @@ func (f *Fleet) doWrite(res *resident, r *request) (WriteResult, error) {
 	}
 	if done > 0 {
 		if err := res.jl.appendCount(eng.Writes()); err != nil {
+			// Applied but not journaled: the engine diverged from the
+			// durable history. Poison the resident so checkin discards
+			// it and the next touch reloads the acknowledged state.
+			res.broken = true
 			return WriteResult{}, err
 		}
 		if err := f.noteAcked(res, done); err != nil {
@@ -96,6 +100,7 @@ func (f *Fleet) doWriteAddrs(res *resident, r *request) (WriteResult, error) {
 	}
 	if done > 0 {
 		if err := res.jl.appendAddrs(eng.Writes(), r.addrs[:done]); err != nil {
+			res.broken = true
 			return WriteResult{}, err
 		}
 		if err := f.noteAcked(res, uint64(done)); err != nil {

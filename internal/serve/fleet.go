@@ -98,6 +98,13 @@ type device struct {
 	// actors: a spill (runs on the evicting actor's goroutine) against
 	// this device's own reload or deletion.
 	diskMu sync.Mutex
+
+	// cur (guarded by Fleet.mu) is the resident that owns the device's
+	// on-disk state. An evicted resident whose spill loses the race with
+	// the device's own reload is no longer cur and must not touch the
+	// checkpoint or journal files — the reloaded engine already carries
+	// (and keeps journaling) every write the stale image would save.
+	cur *resident
 }
 
 // resident is an in-memory engine plus its open journal.
@@ -110,6 +117,12 @@ type resident struct {
 	pinned    bool   // owned by an in-flight request; not evictable
 	lastTouch uint64 // fleet clock at last checkin
 	sinceCkpt uint64 // acked writes since the last durable checkpoint
+
+	// broken is set by the owning actor when a journal append failed
+	// after writes were already applied: the engine has diverged from
+	// the durable history and must be discarded — without a checkpoint
+	// — so the next touch reloads the exact acknowledged state.
+	broken bool
 }
 
 // request ops.
@@ -296,6 +309,7 @@ func (f *Fleet) materialize(d *device, eng *sim.Engine, vblocks uint64) error {
 	f.clock++
 	res.lastTouch = f.clock
 	f.resident[d.id] = res
+	d.cur = res
 	victims := f.victimsLocked()
 	f.mu.Unlock()
 	f.spillAll(victims)
@@ -491,13 +505,26 @@ func (f *Fleet) checkout(d *device) (*resident, error) {
 
 // checkin unpins after a request, bumps recency, and synchronously
 // evicts the coldest unpinned engines while the fleet is over budget.
+// A broken resident (journal append failed mid-request) is discarded
+// instead: no checkpoint, since its engine state diverged from the
+// durable history; the next touch reloads exactly the acknowledged
+// state from checkpoint + journal.
 func (f *Fleet) checkin(res *resident) {
 	f.mu.Lock()
 	res.pinned = false
 	f.clock++
 	res.lastTouch = f.clock
+	if res.broken {
+		delete(f.resident, res.d.id)
+		if res.d.cur == res {
+			res.d.cur = nil
+		}
+	}
 	victims := f.victimsLocked()
 	f.mu.Unlock()
+	if res.broken {
+		_ = res.jl.close()
+	}
 	f.spillAll(victims)
 }
 
@@ -538,21 +565,42 @@ func (f *Fleet) spillAll(victims []*resident) {
 // spill checkpoints an evicted engine to its device directory and
 // closes the journal. It runs on whichever actor triggered the
 // eviction; diskMu keeps it exclusive with the device's own reload or
-// deletion.
+// deletion, and the ownership check makes it a no-op when the device
+// was reloaded (or deleted) before the spill got the lock — writing
+// the eviction-time image then would clobber the new owner's
+// checkpoint and truncate journal records of writes it has since
+// acknowledged.
 func (f *Fleet) spill(res *resident) error {
 	res.d.diskMu.Lock()
 	defer res.d.diskMu.Unlock()
-	_, err := f.saveCheckpoint(res)
+	f.mu.Lock()
+	stale := res.d.cur != res
+	f.mu.Unlock()
+	if stale {
+		// The journal already covers every write this image would
+		// save; just drop the superseded handle.
+		return res.jl.close()
+	}
+	_, err := f.saveCheckpointLocked(res)
 	if cerr := res.jl.close(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
-// saveCheckpoint makes the engine's current state durable and resets
-// the journal: image first (atomic replace + fsync), truncate second,
-// so a crash between the two only costs redundant replay.
+// saveCheckpoint makes the engine's current state durable under the
+// device's disk lock, excluding any in-flight spill of a predecessor
+// resident.
 func (f *Fleet) saveCheckpoint(res *resident) ([]byte, error) {
+	res.d.diskMu.Lock()
+	defer res.d.diskMu.Unlock()
+	return f.saveCheckpointLocked(res)
+}
+
+// saveCheckpointLocked writes the checkpoint and resets the journal:
+// image first (atomic replace + fsync), truncate second, so a crash
+// between the two only costs redundant replay. Callers hold diskMu.
+func (f *Fleet) saveCheckpointLocked(res *resident) ([]byte, error) {
 	img, err := res.eng.Checkpoint()
 	if err != nil {
 		return nil, err
@@ -613,8 +661,15 @@ func (f *Fleet) load(d *device) (*resident, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &resident{
+	res := &resident{
 		d: d, eng: eng, jl: jl, vblocks: cfg.Blocks,
 		sinceCkpt: eng.Writes() - ckptWrites,
-	}, nil
+	}
+	// Take disk ownership before releasing diskMu, so a pending spill
+	// of the evicted predecessor observes the handover no matter how
+	// its lock acquisition interleaves with this reload.
+	f.mu.Lock()
+	d.cur = res
+	f.mu.Unlock()
+	return res, nil
 }

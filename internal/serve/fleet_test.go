@@ -267,6 +267,261 @@ func TestFleetAddressWrites(t *testing.T) {
 	}
 }
 
+// TestStaleSpillDoesNotClobberReload pins the eviction/reload race: a
+// victim is removed from the residency table before its spill runs, so
+// the device's own actor can reload it (rebuilding from checkpoint +
+// journal and acknowledging new writes) first. The late spill must
+// then back off — writing its eviction-time image and truncating the
+// shared journal would destroy records of the writes the new engine
+// has since acknowledged.
+func TestStaleSpillDoesNotClobberReload(t *testing.T) {
+	spec := testSpec(7)
+	cfg := testConfig(t)
+	f, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Create("dev", spec); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := f.Write(ctx, "dev", 5_000); err != nil {
+		t.Fatal(err)
+	}
+	// Evict by hand exactly as victimsLocked would — remove from the
+	// residency table — but hold the spill back, simulating the
+	// evicting actor losing the scheduling race.
+	f.mu.Lock()
+	stale := f.resident["dev"]
+	delete(f.resident, "dev")
+	f.mu.Unlock()
+	// The device's next request reloads it and acknowledges more
+	// writes into the journal the stale resident still has open.
+	if _, err := f.Write(ctx, "dev", 5_000); err != nil {
+		t.Fatal(err)
+	}
+	// Now the delayed spill runs. It must detect the ownership
+	// handover and leave the new owner's on-disk state alone.
+	if err := f.spill(stale); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(cfg.Dir, "dev", journalFile)); err != nil || fi.Size() == 0 {
+		t.Fatalf("stale spill truncated the live journal: %v, %d bytes", err, fi.Size())
+	}
+	// Kill + reopen: all 10k acknowledged writes must replay.
+	f2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	st, err := f2.Status(ctx, "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Writes != 10_000 {
+		t.Errorf("recovered %d writes, want 10000 (stale spill rolled back acked state)", st.Writes)
+	}
+}
+
+// TestJournalAddrBatchChunking pins the bounded-record invariant: an
+// address batch larger than addrsPerRecord spans several records with
+// correct intermediate absolute totals, every line stays far below the
+// replay scanner's cap, and reading back reproduces the batch exactly.
+func TestJournalAddrBatchChunking(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := openJournal(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 3*addrsPerRecord + 17
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = uint64(i * 31)
+	}
+	const before = 100
+	if err := jl.appendAddrs(before+uint64(n), addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(line) > 1<<20 {
+			t.Fatalf("journal line of %d bytes would outgrow the replay scanner", len(line))
+		}
+	}
+	recs, err := readJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("batch of %d addrs produced %d records, want 4", n, len(recs))
+	}
+	total := uint64(before)
+	var got []uint64
+	for i, rec := range recs {
+		if !rec.isAddrs {
+			t.Fatalf("record %d is not an address record", i)
+		}
+		total += uint64(len(rec.addrs))
+		if rec.after != total {
+			t.Errorf("record %d: after=%d, want running total %d", i, rec.after, total)
+		}
+		got = append(got, rec.addrs...)
+	}
+	if len(got) != n {
+		t.Fatalf("read back %d addrs, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != addrs[i] {
+			t.Fatalf("addr %d: read %d, want %d", i, got[i], addrs[i])
+		}
+	}
+}
+
+// TestFleetLargeAddressBatchRecovers drives an address batch spanning
+// several journal records through the fleet, kills it, and reopens:
+// chunked replay must land byte-identical to a standalone engine fed
+// the same sequence.
+func TestFleetLargeAddressBatchRecovers(t *testing.T) {
+	spec := testSpec(7)
+	n := 2*addrsPerRecord + 123
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = uint64(i*37) % (1 << 9)
+	}
+	eng, err := buildEngine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range addrs {
+		if !eng.WriteTagged(a, eng.Writes()) {
+			t.Fatal("reference engine stopped unexpectedly")
+		}
+	}
+	wantImg, err := eng.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(t)
+	f1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Create("dev", spec); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := f1.WriteAddrs(ctx, "dev", addrs); err != nil {
+		t.Fatal(err)
+	}
+	// kill: abandon without Close, forcing replay of the chunked
+	// address records on reopen.
+	f2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	st, err := f2.Status(ctx, "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Writes != uint64(n) {
+		t.Fatalf("recovered %d writes, want %d", st.Writes, n)
+	}
+	_, gotImg := fleetState(t, f2, "dev")
+	if !bytes.Equal(gotImg, wantImg) {
+		t.Errorf("chunked address replay diverges from standalone run")
+	}
+}
+
+// TestJournalAppendFailurePoisonsResident pins the divergence guard:
+// when a journal append fails after writes were applied, the resident
+// is discarded without a checkpoint and the device transparently
+// reloads the exact acknowledged state on its next touch.
+func TestJournalAppendFailurePoisonsResident(t *testing.T) {
+	cfg := testConfig(t)
+	f, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Create("dev", testSpec(7)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := f.Write(ctx, "dev", 5_000); err != nil {
+		t.Fatal(err)
+	}
+	// Force the next append to fail by closing the journal's file
+	// handle underneath the resident.
+	f.mu.Lock()
+	res := f.resident["dev"]
+	f.mu.Unlock()
+	if err := res.jl.close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(ctx, "dev", 1_000); err == nil {
+		t.Fatal("write with a dead journal handle should fail")
+	}
+	// The diverged engine (5k acked + 1k unjournaled) must be gone.
+	f.mu.Lock()
+	_, stillResident := f.resident["dev"]
+	f.mu.Unlock()
+	if stillResident {
+		t.Fatal("poisoned resident survived checkin")
+	}
+	// The device reloads from durable state and keeps serving.
+	st, err := f.Status(ctx, "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Writes != 5_000 {
+		t.Errorf("reloaded with %d writes, want the 5000 acknowledged", st.Writes)
+	}
+	if _, err := f.Write(ctx, "dev", 1_000); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = f.Status(ctx, "dev"); err != nil || st.Writes != 6_000 {
+		t.Errorf("after recovery: %d writes, %v; want 6000", st.Writes, err)
+	}
+}
+
+// TestDeleteDurable exercises the delete path with syncing enabled: the
+// fleet directory is fsynced after removal so the acknowledged deletion
+// survives a crash, and a reopen must not resurrect the device.
+func TestDeleteDurable(t *testing.T) {
+	cfg := Config{Dir: t.TempDir()} // sync on
+	f1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Create("dev", testSpec(7)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := f1.Write(ctx, "dev", 1_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Delete(ctx, "dev"); err != nil {
+		t.Fatal(err)
+	}
+	// kill: abandon without Close.
+	f2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if ids := f2.List(); len(ids) != 0 {
+		t.Errorf("deleted device resurrected after reopen: %v", ids)
+	}
+}
+
 // TestEvictionBudgetAndSpillHygiene pins the LRU mechanics: the
 // resident count respects the budget, spilled devices leave exactly
 // the three expected files (no temp litter), journals are truncated by

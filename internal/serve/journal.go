@@ -32,7 +32,8 @@ const (
 	journalFile = "journal.wal"
 )
 
-// journalRecord is one acknowledged batch. A count record ("c <after>")
+// journalRecord is one acknowledged batch (or one addrsPerRecord-sized
+// slice of a large address batch). A count record ("c <after>")
 // records that the workload-driven write total reached after; an
 // address record ("a <after> <a1> <a2> ...") records explicit addresses
 // serviced in order, with after again the resulting total. Records
@@ -73,18 +74,34 @@ func (j *journal) appendCount(after uint64) error {
 	return j.append(buf.Bytes())
 }
 
+// addrsPerRecord bounds one address record so its journal line (~21
+// bytes per decimal address) stays far below replay's scanner cap —
+// WriteAddrs accepts arbitrarily large batches in-process, and a
+// single unbounded line would make the device unloadable after the
+// fact. Larger batches are split into several records carrying
+// intermediate absolute totals, written and synced as one append.
+const addrsPerRecord = 1 << 12
+
 // appendAddrs journals an explicit-address batch (the serviced prefix
-// only), syncing before return.
+// only) whose writes brought the device total to after, syncing before
+// return. Batches over addrsPerRecord span multiple records; a crash
+// mid-append persists only a prefix of whole records, which is safe —
+// nothing in this append was acknowledged yet, and what replays is a
+// true prefix of the serviced writes.
 func (j *journal) appendAddrs(after uint64, addrs []uint64) error {
 	var buf bytes.Buffer
-	buf.WriteByte('a')
-	buf.WriteByte(' ')
-	buf.WriteString(strconv.FormatUint(after, 10))
-	for _, a := range addrs {
+	first := after - uint64(len(addrs))
+	for start := 0; start < len(addrs); start += addrsPerRecord {
+		end := min(start+addrsPerRecord, len(addrs))
+		buf.WriteByte('a')
 		buf.WriteByte(' ')
-		buf.WriteString(strconv.FormatUint(a, 10))
+		buf.WriteString(strconv.FormatUint(first+uint64(end), 10))
+		for _, a := range addrs[start:end] {
+			buf.WriteByte(' ')
+			buf.WriteString(strconv.FormatUint(a, 10))
+		}
+		buf.WriteByte('\n')
 	}
-	buf.WriteByte('\n')
 	return j.append(buf.Bytes())
 }
 
