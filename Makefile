@@ -61,6 +61,8 @@ fuzz:
 	go test ./internal/ckpt -fuzz FuzzCheckpointRoundTrip -fuzztime 10s
 	go test ./internal/ckpt -fuzz FuzzDecoderNeverPanics -fuzztime 10s
 	go test ./internal/wear -fuzz FuzzStartGapMapInverse -fuzztime 10s
+	go test ./internal/wear -fuzz FuzzWoLFRaMMapInverse -fuzztime 10s
+	go test ./internal/wear -fuzz FuzzSoftWearPageTable -fuzztime 10s
 	go test ./internal/sim -fuzz FuzzRestoreRejectsCorrupt -fuzztime 10s
 
 # wlserved crash-durability smoke: drive 50 devices with wlload,

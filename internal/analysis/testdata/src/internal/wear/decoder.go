@@ -1,0 +1,85 @@
+// Fixture: the patterns the two related-work levelers introduced.
+// WoLFRaM-style programmable decoders are built from a seeded random
+// permutation — seeded-constructors must catch a decoder constructor
+// that hides its seed. SoftWear-style relocation keeps an in-flight
+// cursor that is transient within one call — ckpt-state-coverage must
+// accept the annotated cursor and still flag an unannotated one.
+package wear
+
+import (
+	"wlreviver/internal/ckpt"
+	"wlreviver/internal/rng"
+)
+
+// Decoder is a WoLFRaM-style per-region programmable address decoder.
+type Decoder struct {
+	perm []uint64
+}
+
+// NewDecoder shuffles the initial permutation from a pinned stream the
+// caller cannot influence.
+func NewDecoder(size uint64) *Decoder { // want seeded-constructors "constructor NewDecoder uses package rng"
+	src := rng.New(1)
+	perm := make([]uint64, size)
+	for i := range perm {
+		perm[i] = src.Uint64n(size)
+	}
+	return &Decoder{perm: perm}
+}
+
+// DecoderConfig carries the seed, so the constructor below is clean.
+type DecoderConfig struct {
+	Size uint64
+	Seed uint64
+}
+
+// NewSeededDecoder threads the config seed into the permutation draw.
+func NewSeededDecoder(cfg DecoderConfig) *Decoder {
+	src := rng.New(cfg.Seed)
+	perm := make([]uint64, cfg.Size)
+	for i := range perm {
+		perm[i] = src.Uint64n(cfg.Size)
+	}
+	return &Decoder{perm: perm}
+}
+
+// Relocator is a SoftWear-style page relocator: the relocation cursor
+// exists only while one relocation call is in flight, so it is skipped
+// from checkpoints with a recorded reason — no finding.
+type Relocator struct {
+	frames     []uint64
+	epochLeft  uint64
+	relocHot   uint64 // ckpt:skip transient within one relocation call
+	relocCold  uint64 // ckpt:skip transient within one relocation call
+	relocSteps uint64 // ckpt:skip transient within one relocation call
+}
+
+// SaveState captures only the durable mapping state.
+func (r *Relocator) SaveState(e *ckpt.Encoder) {
+	e.U64s(r.frames)
+	e.U64(r.epochLeft)
+}
+
+// LoadState restores it.
+func (r *Relocator) LoadState(d *ckpt.Decoder) error {
+	r.frames = d.U64s()
+	r.epochLeft = d.U64()
+	return nil
+}
+
+// BareRelocator forgets the annotation: the same cursor field with no
+// recorded reason is exactly the silent-divergence bug the rule exists
+// to catch.
+type BareRelocator struct {
+	frames []uint64
+	cursor uint64 // want ckpt-state-coverage "field cursor of BareRelocator is checkpointed in neither SaveState nor LoadState"
+}
+
+// SaveState captures the frames only.
+func (b *BareRelocator) SaveState(e *ckpt.Encoder) { e.U64s(b.frames) }
+
+// LoadState likewise.
+func (b *BareRelocator) LoadState(d *ckpt.Decoder) error {
+	b.frames = d.U64s()
+	return nil
+}

@@ -7,15 +7,17 @@ import (
 // Counter names used by Metrics for the typed events. Exported so tests
 // and reports can reference them without string literals.
 const (
-	CounterBlockFailed    = "block_failed"
-	CounterCellFailed     = "cell_failed"
-	CounterRevived        = "revived"
-	CounterRemapCacheHit  = "remap_cache_hit"
-	CounterRemapCacheMiss = "remap_cache_miss"
-	CounterGapMoved       = "gap_moved"
-	CounterRegionSwapped  = "region_swapped"
-	CounterPageRetired    = "page_retired"
-	CounterSnapshots      = "snapshots"
+	CounterBlockFailed     = "block_failed"
+	CounterCellFailed      = "cell_failed"
+	CounterRevived         = "revived"
+	CounterRemapCacheHit   = "remap_cache_hit"
+	CounterRemapCacheMiss  = "remap_cache_miss"
+	CounterGapMoved        = "gap_moved"
+	CounterRegionSwapped   = "region_swapped"
+	CounterDecoderRemapped = "decoder_remapped"
+	CounterPageRelocated   = "page_relocated"
+	CounterPageRetired     = "page_retired"
+	CounterSnapshots       = "snapshots"
 )
 
 // Metrics is the standard Observer: it accumulates named event counters,
@@ -87,6 +89,12 @@ func (m *Metrics) GapMoved(int, uint64) { m.Add(CounterGapMoved, 1) }
 
 // RegionSwapped implements Observer.
 func (m *Metrics) RegionSwapped(uint64, uint64) { m.Add(CounterRegionSwapped, 1) }
+
+// DecoderRemapped implements Observer.
+func (m *Metrics) DecoderRemapped(uint64, uint64) { m.Add(CounterDecoderRemapped, 1) }
+
+// PageRelocated implements Observer.
+func (m *Metrics) PageRelocated(uint64, uint64) { m.Add(CounterPageRelocated, 1) }
 
 // PageRetired implements Observer.
 func (m *Metrics) PageRetired(uint64) { m.Add(CounterPageRetired, 1) }

@@ -36,7 +36,8 @@ type Snapshot struct {
 	// SparePAs is the number of unlinked reserved PAs (WL-Reviver only).
 	SparePAs int `json:"spare_pas"`
 	// LevelerOps counts the wear-leveling scheme's remapping operations:
-	// Start-Gap gap movements, or Security Refresh outer-region swaps.
+	// Start-Gap gap movements, Security Refresh outer-region swaps,
+	// WoLFRaM decoder remaps, or SoftWear page relocations.
 	LevelerOps uint64 `json:"leveler_ops"`
 	// CacheHits and CacheMisses are the remap cache's cumulative lookup
 	// outcomes (0 when no cache is configured).
@@ -80,6 +81,12 @@ type Observer interface {
 	// RegionSwapped fires per Security Refresh block swap between device
 	// addresses a and b.
 	RegionSwapped(a, b uint64)
+	// DecoderRemapped fires per WoLFRaM programmable-decoder remap: the
+	// decoder swapped the blocks at device addresses a and b.
+	DecoderRemapped(a, b uint64)
+	// PageRelocated fires per SoftWear page relocation: the page occupying
+	// device frame oldFrame moved to frame newFrame (and vice versa).
+	PageRelocated(oldFrame, newFrame uint64)
 	// PageRetired fires when the OS retires a page after a reported
 	// access failure.
 	PageRetired(page uint64)
@@ -111,6 +118,12 @@ func (Base) GapMoved(int, uint64) {}
 
 // RegionSwapped implements Observer.
 func (Base) RegionSwapped(uint64, uint64) {}
+
+// DecoderRemapped implements Observer.
+func (Base) DecoderRemapped(uint64, uint64) {}
+
+// PageRelocated implements Observer.
+func (Base) PageRelocated(uint64, uint64) {}
 
 // PageRetired implements Observer.
 func (Base) PageRetired(uint64) {}

@@ -28,6 +28,8 @@ const (
 	evRemapCacheMiss
 	evGapMoved
 	evRegionSwapped
+	evDecoderRemapped
+	evPageRelocated
 	evPageRetired
 	evSnapshot
 )
@@ -84,6 +86,10 @@ func (r *Recorder) Replay(o Observer, rb Rebase) {
 			o.GapMoved(int(e.i)+rb.Region, e.a+rb.DA)
 		case evRegionSwapped:
 			o.RegionSwapped(e.a+rb.DA, e.b+rb.DA)
+		case evDecoderRemapped:
+			o.DecoderRemapped(e.a+rb.DA, e.b+rb.DA)
+		case evPageRelocated:
+			o.PageRelocated(e.a+rb.Page, e.b+rb.Page)
 		case evPageRetired:
 			o.PageRetired(e.a + rb.Page)
 		case evSnapshot:
@@ -125,6 +131,16 @@ func (r *Recorder) GapMoved(region int, gapDA uint64) {
 // RegionSwapped implements Observer.
 func (r *Recorder) RegionSwapped(a, b uint64) {
 	r.events = append(r.events, event{kind: evRegionSwapped, a: a, b: b})
+}
+
+// DecoderRemapped implements Observer.
+func (r *Recorder) DecoderRemapped(a, b uint64) {
+	r.events = append(r.events, event{kind: evDecoderRemapped, a: a, b: b})
+}
+
+// PageRelocated implements Observer.
+func (r *Recorder) PageRelocated(oldFrame, newFrame uint64) {
+	r.events = append(r.events, event{kind: evPageRelocated, a: oldFrame, b: newFrame})
 }
 
 // PageRetired implements Observer.

@@ -19,6 +19,8 @@ func (l *logObserver) RemapCacheHit(key uint64)      { l.add("hit %d", key) }
 func (l *logObserver) RemapCacheMiss(key uint64)     { l.add("miss %d", key) }
 func (l *logObserver) GapMoved(region int, g uint64) { l.add("gap %d %d", region, g) }
 func (l *logObserver) RegionSwapped(a, b uint64)     { l.add("swap %d %d", a, b) }
+func (l *logObserver) DecoderRemapped(a, b uint64)   { l.add("remap %d %d", a, b) }
+func (l *logObserver) PageRelocated(o, n uint64)     { l.add("reloc %d %d", o, n) }
 func (l *logObserver) PageRetired(page uint64)       { l.add("retired %d", page) }
 func (l *logObserver) Snapshot(s Snapshot)           { l.add("snap %d", s.Writes) }
 
@@ -39,10 +41,12 @@ func TestRecorderReplayRebases(t *testing.T) {
 	r.RemapCacheMiss(9)
 	r.GapMoved(1, 10)
 	r.RegionSwapped(11, 12)
+	r.DecoderRemapped(13, 14)
+	r.PageRelocated(3, 5)
 	r.PageRetired(2)
 	r.Snapshot(Snapshot{Writes: 1234})
-	if r.Len() != 9 {
-		t.Fatalf("Len() = %d, want 9", r.Len())
+	if r.Len() != 11 {
+		t.Fatalf("Len() = %d, want 11", r.Len())
 	}
 
 	var got logObserver
@@ -55,6 +59,8 @@ func TestRecorderReplayRebases(t *testing.T) {
 		"miss 109",
 		"gap 5 110",
 		"swap 111 112",
+		"remap 113 114",
+		"reloc 23 25",
 		"retired 22",
 		"snap 1234",
 	}
@@ -68,7 +74,7 @@ func TestRecorderReplayRebases(t *testing.T) {
 	}
 
 	// Replay leaves the buffer intact; Reset empties it.
-	if r.Len() != 9 {
+	if r.Len() != 11 {
 		t.Fatalf("Replay consumed the buffer: Len() = %d", r.Len())
 	}
 	r.Reset()

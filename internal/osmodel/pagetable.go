@@ -1,0 +1,93 @@
+package osmodel
+
+import (
+	"fmt"
+
+	"wlreviver/internal/ckpt"
+)
+
+// PageTable is a bijective virtual-page → physical-frame mapping — the
+// OS-owned translation layer a software-only wear-leveler (SoftWear,
+// arXiv:2004.03244) drives. It is deliberately separate from Model, which
+// tracks page retirement and failure-driven remapping: a PageTable is a
+// pure permutation the leveling policy mutates one swap at a time.
+type PageTable struct {
+	vToP []uint32
+	// ckpt:derived inverse mapping rebuilt from vToP in LoadState
+	pToV []uint32
+}
+
+// NewPageTable builds an identity mapping over numPages pages.
+func NewPageTable(numPages uint64) (*PageTable, error) {
+	if numPages == 0 {
+		return nil, fmt.Errorf("osmodel: page table needs at least one page")
+	}
+	if numPages > 1<<32 {
+		return nil, fmt.Errorf("osmodel: %d pages exceed the table's 32-bit entries", numPages)
+	}
+	t := &PageTable{
+		vToP: make([]uint32, numPages),
+		pToV: make([]uint32, numPages),
+	}
+	for i := uint64(0); i < numPages; i++ {
+		t.vToP[i] = uint32(i)
+		t.pToV[i] = uint32(i)
+	}
+	return t, nil
+}
+
+// NumPages returns the number of pages mapped.
+func (t *PageTable) NumPages() uint64 { return uint64(len(t.vToP)) }
+
+// Frame returns the physical frame backing a virtual page.
+func (t *PageTable) Frame(vpage uint64) uint64 {
+	if vpage >= uint64(len(t.vToP)) {
+		panic(fmt.Sprintf("osmodel: vpage %d out of range [0,%d)", vpage, len(t.vToP)))
+	}
+	return uint64(t.vToP[vpage])
+}
+
+// PageAt returns the virtual page backed by a physical frame.
+func (t *PageTable) PageAt(frame uint64) uint64 {
+	if frame >= uint64(len(t.pToV)) {
+		panic(fmt.Sprintf("osmodel: frame %d out of range [0,%d)", frame, len(t.pToV)))
+	}
+	return uint64(t.pToV[frame])
+}
+
+// Swap exchanges the frames backing two virtual pages.
+func (t *PageTable) Swap(v1, v2 uint64) {
+	f1, f2 := t.Frame(v1), t.Frame(v2)
+	t.vToP[v1], t.vToP[v2] = uint32(f2), uint32(f1)
+	t.pToV[f1], t.pToV[f2] = uint32(v2), uint32(v1)
+}
+
+// SaveState serializes the forward mapping; the inverse is derived.
+func (t *PageTable) SaveState(e *ckpt.Encoder) {
+	e.U32s(t.vToP)
+}
+
+// LoadState restores a mapping written by SaveState into a table of the
+// same geometry, validating it is a permutation before committing.
+func (t *PageTable) LoadState(dec *ckpt.Decoder) error {
+	vToP := dec.U32s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	n := len(t.vToP)
+	if len(vToP) != n {
+		return fmt.Errorf("osmodel: checkpoint page table has %d pages, table has %d", len(vToP), n)
+	}
+	pToV := make([]uint32, n)
+	seen := make([]bool, n)
+	for v, f := range vToP {
+		if uint64(f) >= uint64(n) || seen[f] {
+			return fmt.Errorf("osmodel: checkpoint page table is not a permutation")
+		}
+		seen[f] = true
+		pToV[f] = uint32(v)
+	}
+	copy(t.vToP, vToP)
+	copy(t.pToV, pToV)
+	return nil
+}

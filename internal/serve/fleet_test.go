@@ -210,6 +210,72 @@ func TestFleetMatchesStandaloneAfterKill(t *testing.T) {
 	}
 }
 
+// TestFleetNewLevelerStacks hosts devices on the WoLFRaM and SoftWear
+// registry stacks and drives them through the fleet's full durability
+// gauntlet — a one-slot residency budget (every touch spills and
+// reloads the other device) and then an abandoned fleet reopened from
+// its spill directory — requiring byte-identity with standalone engine
+// runs of the same specs throughout.
+func TestFleetNewLevelerStacks(t *testing.T) {
+	specFor := func(stack string, seed uint64) DeviceSpec {
+		s := testSpec(seed)
+		s.Stack = stack
+		return s
+	}
+	specA := specFor("wolfram/WFR-WLR", 7)
+	specB := specFor("softwear/SW-WLR", 11)
+	const total = 24_000
+	wantMetricsA, wantImgA := referenceRun(t, specA, total)
+	wantMetricsB, wantImgB := referenceRun(t, specB, total)
+
+	cfg := testConfig(t)
+	cfg.MaxResident = 1 // every alternation evicts the other device
+	cfg.CheckpointEvery = 9_000
+	f1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Create("wfr", specA); err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Create("sw", specB); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		for _, id := range []string{"wfr", "sw"} {
+			if _, err := f1.Write(ctx, id, total/8); err != nil {
+				t.Fatalf("%s round %d: %v", id, i, err)
+			}
+		}
+	}
+	// Abandon f1 mid-run (in-process kill -9) and recover from spill +
+	// journal replay.
+	f2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	for i := 4; i < 8; i++ {
+		for _, id := range []string{"wfr", "sw"} {
+			if _, err := f2.Write(ctx, id, total/8); err != nil {
+				t.Fatalf("%s round %d after reopen: %v", id, i, err)
+			}
+		}
+	}
+	if h := f2.Health(); h.Resident > 1 {
+		t.Errorf("resident count %d exceeds budget 1", h.Resident)
+	}
+	gotMetricsA, gotImgA := fleetState(t, f2, "wfr")
+	gotMetricsB, gotImgB := fleetState(t, f2, "sw")
+	if !bytes.Equal(gotMetricsA, wantMetricsA) || !bytes.Equal(gotImgA, wantImgA) {
+		t.Errorf("WoLFRaM device diverges from standalone run across spill/evict/reload")
+	}
+	if !bytes.Equal(gotMetricsB, wantMetricsB) || !bytes.Equal(gotImgB, wantImgB) {
+		t.Errorf("SoftWear device diverges from standalone run across spill/evict/reload")
+	}
+}
+
 // TestFleetAddressWrites pins the explicit-address path: the fleet
 // device matches a standalone engine fed the same WriteTagged sequence,
 // including across a kill+restart that replays the address journal.

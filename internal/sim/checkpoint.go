@@ -288,6 +288,8 @@ func (e *Engine) encodeConfig(enc *ckpt.Encoder) {
 	enc.U64(c.GapWritePeriod)
 	enc.U64(c.SRInnerRegions)
 	enc.U64(c.SGRegions)
+	enc.U64(c.WFRRegions)
+	enc.U64(c.SWEpochWrites)
 	custom := ""
 	if c.CustomLeveler != nil {
 		custom = c.CustomLeveler.Name()
@@ -335,6 +337,8 @@ func (e *Engine) decodeConfig(d *ckpt.Decoder) error {
 		{"GapWritePeriod", d.U64() == c.GapWritePeriod},
 		{"SRInnerRegions", d.U64() == c.SRInnerRegions},
 		{"SGRegions", d.U64() == c.SGRegions},
+		{"WFRRegions", d.U64() == c.WFRRegions},
+		{"SWEpochWrites", d.U64() == c.SWEpochWrites},
 		{"CustomLeveler", d.String() == custom},
 		{"Protector", d.I64() == int64(c.Protector)},
 		{"FreepReserveFraction", d.F64() == c.FreepReserveFraction},

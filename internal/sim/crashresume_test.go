@@ -57,6 +57,21 @@ func ckptRoles() []ckptRole {
 			c.FreepZombiePairing = true
 		}, ocean},
 		{"sg-lls", func(c *Config) { c.Protector = ProtectorLLS }, benchGen("mg")},
+		{"wfr-wlr", func(c *Config) {
+			c.Leveler = LevelerWoLFRaM
+			c.WFRRegions = 8
+		}, ocean},
+		{"wfr-freep", func(c *Config) {
+			c.Leveler = LevelerWoLFRaM
+			c.Protector = ProtectorFREEp
+			c.FreepReserveFraction = 0.10
+		}, benchGen("mg")},
+		{"sw-wlr", func(c *Config) { c.Leveler = LevelerSoftWear }, ocean},
+		{"sw-lls", func(c *Config) {
+			c.Leveler = LevelerSoftWear
+			c.SWEpochWrites = 64
+			c.Protector = ProtectorLLS
+		}, benchGen("mg")},
 		{"sg-drm", func(c *Config) { c.Protector = ProtectorDRM }, ocean},
 		{"sg-wlr-hammer", func(c *Config) {}, func(cfg Config) (trace.Generator, error) {
 			return trace.NewHammer(cfg.Blocks, []uint64{3, 41, 97})
@@ -361,6 +376,70 @@ func TestCrashResumeEquivalence(t *testing.T) {
 			}
 			if t2.String() != wantT2 {
 				t.Error("table2 resumed after crash diverged")
+			}
+		})
+	}
+}
+
+// TestCrashResumeEquivalenceNewLevelers runs the same sweep-level
+// differential over the wolfram and softwear protection ladders: crash
+// the 4-arm FigLeveler sweep at swept points, resume, and require the
+// formatted output plus the collected metrics JSON (which carries the
+// decoder-remap / page-relocation counters through the checkpoint) to
+// match the uninterrupted run byte for byte — at workers 1 and 4.
+func TestCrashResumeEquivalenceNewLevelers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash/resume differential sweep is slow; run without -short")
+	}
+	scale := Scale{
+		Blocks: 1 << 9, BlocksPerPage: 8, MeanEndurance: 120,
+		GapWritePeriod: 10, Seed: 7, MaxWritesPerBlock: 100,
+	}
+	for _, nl := range []struct {
+		exp  string
+		kind LevelerKind
+	}{{"wolfram", LevelerWoLFRaM}, {"softwear", LevelerSoftWear}} {
+		nl := nl
+		t.Run(nl.exp, func(t *testing.T) {
+			t.Parallel()
+			signature := func(s Scale) string {
+				col := newTestCollector()
+				s.Observe = col.observe
+				res, err := FigLeveler(s, "ocean", nl.kind, nl.exp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.String() + "\n" + col.json(t)
+			}
+			ref := scale
+			ref.Workers = 1
+			want := signature(ref)
+
+			for _, workers := range []int{1, 4} {
+				s := scale
+				s.Workers = workers
+				if got := signature(s); got != want {
+					t.Fatalf("uninterrupted %s run differs at workers=%d", nl.exp, workers)
+				}
+				for _, crash := range []uint64{1, 2_000, 7_777, 15_000, 26_000} {
+					dir := t.TempDir()
+					s := scale
+					s.Workers = workers
+					s.Observe = newTestCollector().observe
+					plan := &CheckpointPlan{Dir: dir, Every: 1 << 11}
+					plan.ArmTotalCrash(crash)
+					s.Checkpoint = plan
+					if _, err := FigLeveler(s, "ocean", nl.kind, nl.exp); err != nil && !errors.Is(err, ErrCrashed) {
+						t.Fatalf("crash at %d: %v", crash, err)
+					}
+
+					s = scale
+					s.Workers = workers
+					s.Checkpoint = &CheckpointPlan{Dir: dir, Every: 1 << 11, Resume: true}
+					if got := signature(s); got != want {
+						t.Errorf("%s resumed after crash at %d (workers=%d) diverged", nl.exp, crash, workers)
+					}
+				}
 			}
 		})
 	}

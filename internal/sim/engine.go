@@ -39,6 +39,12 @@ const (
 	// LevelerRegionedStartGap is the original paper's multi-region
 	// Start-Gap organisation (independent start/gap per region).
 	LevelerRegionedStartGap
+	// LevelerWoLFRaM is WoLFRaM-style programmable-address-decoder
+	// remapping (arXiv:2010.02825).
+	LevelerWoLFRaM
+	// LevelerSoftWear is SoftWear-style software-only page-granularity
+	// leveling through the OS page table (arXiv:2004.03244).
+	LevelerSoftWear
 )
 
 // String returns the scheme's display name.
@@ -50,6 +56,10 @@ func (k LevelerKind) String() string {
 		return "SR"
 	case LevelerRegionedStartGap:
 		return "SG-R"
+	case LevelerWoLFRaM:
+		return "WFR"
+	case LevelerSoftWear:
+		return "SW"
 	default:
 		return "none"
 	}
@@ -138,6 +148,13 @@ type Config struct {
 	// SGRegions is the region count for LevelerRegionedStartGap
 	// (default 4).
 	SGRegions uint64
+	// WFRRegions is the decoder region count for LevelerWoLFRaM
+	// (default 4); GapWritePeriod paces its remaps.
+	WFRRegions uint64
+	// SWEpochWrites is LevelerSoftWear's leveling epoch in writes
+	// (default BlocksPerPage*GapWritePeriod); pages are BlocksPerPage
+	// blocks.
+	SWEpochWrites uint64
 	// CustomLeveler, when non-nil, overrides Leveler with a user-supplied
 	// scheme — the framework revives any wear.Leveler (see
 	// examples/customleveler). Its PA space must equal Blocks.
@@ -231,6 +248,8 @@ type Engine struct {
 	sgLv     *wear.StartGap
 	srLv     *wear.SecurityRefresh
 	rsgLv    *wear.RegionedStartGap
+	wfrLv    *wear.WoLFRaM
+	swLv     *wear.SoftWear
 	noteSkip bool
 
 	// Batched address generation: when gen has a NextBatch fast path,
@@ -350,6 +369,35 @@ func newEngine(cfg Config, gen trace.Generator) (*Engine, error) {
 				return nil, err
 			}
 			lv = rsg
+		case LevelerWoLFRaM:
+			regions := cfg.WFRRegions
+			if regions == 0 {
+				regions = 4
+			}
+			wfr, err := wear.NewWoLFRaM(wear.WoLFRaMConfig{
+				NumPAs:          cfg.Blocks,
+				Regions:         regions,
+				SwapWritePeriod: cfg.GapWritePeriod,
+				Seed:            cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			lv = wfr
+		case LevelerSoftWear:
+			epoch := cfg.SWEpochWrites
+			if epoch == 0 {
+				epoch = cfg.BlocksPerPage * cfg.GapWritePeriod
+			}
+			sw, err := wear.NewSoftWear(wear.SoftWearConfig{
+				NumPAs:      cfg.Blocks,
+				PageBlocks:  cfg.BlocksPerPage,
+				EpochWrites: epoch,
+			})
+			if err != nil {
+				return nil, err
+			}
+			lv = sw
 		case LevelerNone:
 			lv = wear.Static{Size: cfg.Blocks}
 		default:
@@ -457,6 +505,10 @@ func newEngine(cfg Config, gen trace.Generator) (*Engine, error) {
 		e.srLv = l
 	case *wear.RegionedStartGap:
 		e.rsgLv = l
+	case *wear.WoLFRaM:
+		e.wfrLv = l
+	case *wear.SoftWear:
+		e.swLv = l
 	case wear.Static:
 		e.noteSkip = true
 	}
@@ -529,6 +581,10 @@ func (e *Engine) emitSnapshot() {
 		s.LevelerOps = e.srLv.OuterSwaps()
 	case e.rsgLv != nil:
 		s.LevelerOps = e.rsgLv.GapMoves()
+	case e.wfrLv != nil:
+		s.LevelerOps = e.wfrLv.Swaps()
+	case e.swLv != nil:
+		s.LevelerOps = e.swLv.Relocations()
 	}
 	if e.remapCache != nil {
 		s.CacheHits = e.remapCache.Hits()
@@ -809,6 +865,10 @@ func (e *Engine) writeTagged(vblock, tag uint64) bool {
 			e.srLv.NoteWrite(pa, e.prot)
 		case e.rsgLv != nil:
 			e.rsgLv.NoteWrite(pa, e.prot)
+		case e.wfrLv != nil:
+			e.wfrLv.NoteWrite(pa, e.prot)
+		case e.swLv != nil:
+			e.swLv.NoteWrite(pa, e.prot)
 		case e.noteSkip:
 			// Static leveler: NoteWrite is a no-op.
 		default:

@@ -592,6 +592,64 @@ func (r *Fig8Result) String() string {
 	return formatCurves(fmt.Sprintf("Figure 8 — software-usable space vs writes/block (%s), ECP6+SG", r.Workload), r.Curves)
 }
 
+// ---- New-leveler figures -----------------------------------------------------
+
+// FigLevelerResult reports one related-work leveler's protection ladder:
+// software-usable space curves for the leveler bare, +FREE-p, +LLS and
+// +WL-Reviver (the "any wear-leveling technique" generality check).
+type FigLevelerResult struct {
+	Workload string
+	Curves   []stats.Curve
+	// SimWrites is the total simulated writes across all runs.
+	SimWrites uint64
+
+	title string
+}
+
+// TotalWrites reports the experiment's simulated write volume.
+func (r *FigLevelerResult) TotalWrites() uint64 { return r.SimWrites }
+
+// FigLeveler runs one leveler through the Fig. 7/8 protection ladder —
+// bare vs FREE-p(10%) vs LLS vs WL-Reviver under ECP6 — one job per arm.
+// expName qualifies the observer/checkpoint keys ("wolfram", "softwear").
+func FigLeveler(s Scale, workload string, kind LevelerKind, expName string) (*FigLevelerResult, error) {
+	if err := validateWorkload(workload); err != nil {
+		return nil, err
+	}
+	arms := []struct {
+		name    string
+		prot    ProtectorKind
+		reserve float64
+	}{
+		{kind.String(), ProtectorNone, 0},
+		{kind.String() + "-FREE-p(10%)", ProtectorFREEp, 0.10},
+		{kind.String() + "-LLS", ProtectorLLS, 0},
+		{kind.String() + "-WLR", ProtectorWLReviver, 0},
+	}
+	jobs := make([]Job[stats.Curve], 0, len(arms))
+	for _, a := range arms {
+		key := expName + "/" + workload + "/" + a.name
+		jobs = append(jobs, curveJob(s, key, a.name, func() (Machine, error) {
+			cfg := s.engineConfig(key)
+			cfg.Leveler = kind
+			cfg.Protector = a.prot
+			cfg.FreepReserveFraction = a.reserve
+			return s.newMachine(cfg, workload)
+		}, usable, 0.50, s.maxWrites()))
+	}
+	curves, writes, err := CollectJobs(jobs, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &FigLevelerResult{
+		Workload: workload, Curves: curves, SimWrites: writes,
+		title: fmt.Sprintf("%s — software-usable space vs writes/block (%s), ECP6", expName, workload),
+	}, nil
+}
+
+// String formats the curves.
+func (r *FigLevelerResult) String() string { return formatCurves(r.title, r.Curves) }
+
 // ---- Table II ----------------------------------------------------------------
 
 // Table2Cell is one (scheme, workload, failure-ratio) measurement.
@@ -856,3 +914,6 @@ func (r *Fig7Result) CurveData() (string, []stats.Curve) { return r.Workload, r.
 
 // CurveData exposes the plottable series for CSV export.
 func (r *Fig8Result) CurveData() (string, []stats.Curve) { return r.Workload, r.Curves }
+
+// CurveData exposes the plottable series for CSV export.
+func (r *FigLevelerResult) CurveData() (string, []stats.Curve) { return r.Workload, r.Curves }

@@ -3,8 +3,8 @@ package sim
 import "fmt"
 
 // ParseLevelerKind maps a scheme's display name (the String() form:
-// "SG", "SR", "SG-R", "none") back to its LevelerKind. The empty string
-// selects the DefaultConfig scheme, Start-Gap.
+// "SG", "SR", "SG-R", "WFR", "SW", "none") back to its LevelerKind. The
+// empty string selects the DefaultConfig scheme, Start-Gap.
 func ParseLevelerKind(s string) (LevelerKind, error) {
 	switch s {
 	case "":
@@ -17,8 +17,12 @@ func ParseLevelerKind(s string) (LevelerKind, error) {
 		return LevelerSecurityRefresh, nil
 	case "SG-R":
 		return LevelerRegionedStartGap, nil
+	case "WFR":
+		return LevelerWoLFRaM, nil
+	case "SW":
+		return LevelerSoftWear, nil
 	}
-	return 0, fmt.Errorf("sim: unknown leveler %q (known: none, SG, SR, SG-R): %w", s, ErrBadConfig)
+	return 0, fmt.Errorf("sim: unknown leveler %q (known: none, SG, SR, SG-R, WFR, SW): %w", s, ErrBadConfig)
 }
 
 // ParseProtectorKind maps a framework's display name ("WLR", "FREE-p",

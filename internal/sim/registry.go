@@ -58,6 +58,24 @@ func Experiments() []Experiment {
 			},
 		},
 		{
+			Name: "wolfram",
+			Doc:  "WoLFRaM decoder remapping: bare vs FREE-p vs LLS vs WL-Reviver",
+			Run: func(s Scale) (fmt.Stringer, error) {
+				return bothWorkloads(s, func(s Scale, w string) (*FigLevelerResult, error) {
+					return FigLeveler(s, w, LevelerWoLFRaM, "wolfram")
+				})
+			},
+		},
+		{
+			Name: "softwear",
+			Doc:  "SoftWear OS-level page leveling: bare vs FREE-p vs LLS vs WL-Reviver",
+			Run: func(s Scale) (fmt.Stringer, error) {
+				return bothWorkloads(s, func(s Scale, w string) (*FigLevelerResult, error) {
+					return FigLeveler(s, w, LevelerSoftWear, "softwear")
+				})
+			},
+		},
+		{
 			Name: "attacks",
 			Doc:  "hammering and birthday-paradox attack costs, ±WL-Reviver",
 			Run:  func(s Scale) (fmt.Stringer, error) { return Attacks(s) },
@@ -125,10 +143,24 @@ func DeviceStacks() []DeviceStack {
 			FreepReserveFraction: pct,
 		})
 	}
-	return append(stacks,
+	stacks = append(stacks,
 		DeviceStack{Name: "fig8/WL-Reviver", ECC: ECCECP6, Leveler: LevelerStartGap, Protector: ProtectorWLReviver},
 		DeviceStack{Name: "fig8/LLS", ECC: ECCECP6, Leveler: LevelerStartGap, Protector: ProtectorLLS},
 	)
+	// The new-leveler experiments' protection ladders (wolfram, softwear).
+	for _, nl := range []struct {
+		exp string
+		lv  LevelerKind
+	}{{"wolfram", LevelerWoLFRaM}, {"softwear", LevelerSoftWear}} {
+		exp, lv := nl.exp, nl.lv
+		stacks = append(stacks,
+			DeviceStack{Name: exp + "/" + lv.String(), ECC: ECCECP6, Leveler: lv, Protector: ProtectorNone},
+			DeviceStack{Name: exp + "/" + lv.String() + "-FREE-p(10%)", ECC: ECCECP6, Leveler: lv, Protector: ProtectorFREEp, FreepReserveFraction: 0.10},
+			DeviceStack{Name: exp + "/" + lv.String() + "-LLS", ECC: ECCECP6, Leveler: lv, Protector: ProtectorLLS},
+			DeviceStack{Name: exp + "/" + lv.String() + "-WLR", ECC: ECCECP6, Leveler: lv, Protector: ProtectorWLReviver},
+		)
+	}
+	return stacks
 }
 
 // DeviceStackNames returns the registered stack names in order.

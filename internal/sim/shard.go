@@ -463,6 +463,10 @@ func (se *ShardedEngine) snapshotSample() obs.Snapshot {
 			s.LevelerOps += e.srLv.OuterSwaps()
 		case e.rsgLv != nil:
 			s.LevelerOps += e.rsgLv.GapMoves()
+		case e.wfrLv != nil:
+			s.LevelerOps += e.wfrLv.Swaps()
+		case e.swLv != nil:
+			s.LevelerOps += e.swLv.Relocations()
 		}
 		if e.remapCache != nil {
 			s.CacheHits += e.remapCache.Hits()

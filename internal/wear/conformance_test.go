@@ -1,0 +1,66 @@
+package wear_test
+
+// The one table-driven entry point running the generic Leveler
+// conformance suite over every shipped scheme. A new leveler earns its
+// place in the framework by adding a Factory row here.
+
+import (
+	"testing"
+
+	"wlreviver/internal/wear"
+	"wlreviver/internal/wear/conformance"
+)
+
+func TestLevelerConformance(t *testing.T) {
+	factories := []conformance.Factory{
+		{
+			Name: "StartGap", // non-power-of-two: exercises Feistel cycle walking
+			New: func(seed uint64) (wear.Leveler, error) {
+				return wear.NewStartGap(wear.StartGapConfig{NumPAs: 48, GapWritePeriod: 4, Seed: seed})
+			},
+		},
+		{
+			Name: "RegionedStartGap",
+			New: func(seed uint64) (wear.Leveler, error) {
+				return wear.NewRegionedStartGap(wear.RegionedStartGapConfig{
+					NumPAs: 64, Regions: 4, GapWritePeriod: 4, Seed: seed,
+				})
+			},
+		},
+		{
+			Name: "SecurityRefresh",
+			New: func(seed uint64) (wear.Leveler, error) {
+				return wear.NewSecurityRefresh(wear.SecurityRefreshConfig{
+					NumPAs: 64, OuterWritePeriod: 4, Seed: seed,
+				})
+			},
+		},
+		{
+			Name: "SecurityRefresh2L",
+			New: func(seed uint64) (wear.Leveler, error) {
+				return wear.NewSecurityRefresh(wear.SecurityRefreshConfig{
+					NumPAs: 64, InnerRegions: 4, OuterWritePeriod: 4, InnerWritePeriod: 2, Seed: seed,
+				})
+			},
+		},
+		{
+			Name: "WoLFRaM",
+			New: func(seed uint64) (wear.Leveler, error) {
+				return wear.NewWoLFRaM(wear.WoLFRaMConfig{
+					NumPAs: 64, Regions: 4, SwapWritePeriod: 4, Seed: seed,
+				})
+			},
+		},
+		{
+			Name: "SoftWear", // seedless by design: deterministic from the write stream
+			New: func(seed uint64) (wear.Leveler, error) {
+				return wear.NewSoftWear(wear.SoftWearConfig{
+					NumPAs: 64, PageBlocks: 16, EpochWrites: 48,
+				})
+			},
+		},
+	}
+	for _, f := range factories {
+		t.Run(f.Name, func(t *testing.T) { conformance.Run(t, f) })
+	}
+}

@@ -1,6 +1,11 @@
 package wear
 
-import "testing"
+import (
+	"testing"
+
+	"wlreviver/internal/ckpt"
+	"wlreviver/internal/rng"
+)
 
 // nopMover satisfies Mover without a backing device; the mapping
 // algebra under test is independent of data movement.
@@ -52,4 +57,135 @@ func FuzzStartGapMapInverse(f *testing.F) {
 			t.Fatalf("Inverse(gap DA %d) returned a PA", s.GapDA())
 		}
 	})
+}
+
+// FuzzWoLFRaMMapInverse checks the programmable decoder's algebra under
+// fuzz-chosen geometry, seed and write history: every region's
+// permutation must stay a bijection of its slice of the DA space, with
+// Inverse exact, and the mapping must survive a checkpoint round-trip
+// unchanged.
+func FuzzWoLFRaMMapInverse(f *testing.F) {
+	f.Add(uint64(16), uint64(2), uint64(1), uint64(0))
+	f.Add(uint64(64), uint64(4), uint64(42), uint64(300))
+	f.Add(uint64(128), uint64(8), uint64(0xADDEC), uint64(2000))
+	f.Add(uint64(3), uint64(1), uint64(9), uint64(17))
+	f.Fuzz(func(t *testing.T, n, regions, seed, writes uint64) {
+		n = n%512 + 1
+		regions = regions%8 + 1
+		if n%regions != 0 {
+			t.Skip("regions must divide the PA space")
+		}
+		writes %= 4096
+		w, err := NewWoLFRaM(WoLFRaMConfig{
+			NumPAs: n, Regions: regions, SwapWritePeriod: 3, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < writes; i++ {
+			w.NoteWrite(i%n, nopMover{})
+		}
+		checkPermutation(t, w)
+
+		enc := ckpt.NewEncoder()
+		enc.Begin("leveler")
+		w.SaveState(enc)
+		enc.End()
+		fresh, err := NewWoLFRaM(WoLFRaMConfig{
+			NumPAs: n, Regions: regions, SwapWritePeriod: 3, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := ckpt.NewDecoder(enc.Finish())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.Section("leveler"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.LoadState(dec); err != nil {
+			t.Fatal(err)
+		}
+		for pa := uint64(0); pa < n; pa++ {
+			if a, b := w.Map(pa), fresh.Map(pa); a != b {
+				t.Fatalf("restored Map(%d) = %d, want %d", pa, b, a)
+			}
+		}
+	})
+}
+
+// FuzzSoftWearPageTable checks the OS-level scheme's algebra under
+// fuzz-chosen geometry and write history: the page table must stay a
+// permutation (Map a bijection, Inverse exact) through any sequence of
+// epoch relocations, and a restored page table must reject corrupted
+// (non-permutation) state rather than import it.
+func FuzzSoftWearPageTable(f *testing.F) {
+	f.Add(uint64(4), uint64(4), uint64(8), uint64(0))
+	f.Add(uint64(8), uint64(8), uint64(16), uint64(500))
+	f.Add(uint64(16), uint64(4), uint64(5), uint64(3000))
+	f.Add(uint64(1), uint64(2), uint64(1), uint64(40))
+	f.Fuzz(func(t *testing.T, pages, pageBlocks, epoch, writes uint64) {
+		pages = pages%64 + 1
+		pageBlocks = pageBlocks%32 + 1
+		epoch = epoch%128 + 1
+		writes %= 4096
+		s, err := NewSoftWear(SoftWearConfig{
+			NumPAs: pages * pageBlocks, PageBlocks: pageBlocks, EpochWrites: epoch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(writes ^ 0x50F7)
+		for i := uint64(0); i < writes; i++ {
+			s.NoteWrite(src.Uint64n(s.NumPAs()), nopMover{})
+		}
+		checkPermutation(t, s)
+
+		// A corrupted page table (duplicate frame) must not restore.
+		enc := ckpt.NewEncoder()
+		enc.Begin("leveler")
+		bad := make([]uint32, pages)
+		for i := range bad {
+			bad[i] = 0 // every page claims frame 0
+		}
+		enc.U32s(bad)
+		enc.U32s(make([]uint32, pages))
+		enc.U64s(make([]uint64, pages))
+		enc.U64(0)
+		enc.U64(0)
+		enc.End()
+		dec, err := ckpt.NewDecoder(enc.Finish())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.Section("leveler"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LoadState(dec); pages > 1 && err == nil {
+			t.Fatal("non-permutation page table restored without error")
+		}
+	})
+}
+
+// checkPermutation verifies Map is a self-inverse-consistent bijection
+// over the full (NumPAs == NumDAs) space.
+func checkPermutation(t *testing.T, l Leveler) {
+	t.Helper()
+	n := l.NumPAs()
+	seen := make(map[uint64]bool, n)
+	for pa := uint64(0); pa < n; pa++ {
+		da := l.Map(pa)
+		if da >= l.NumDAs() {
+			t.Fatalf("Map(%d) = %d, outside DA space %d", pa, da, l.NumDAs())
+		}
+		if seen[da] {
+			t.Fatalf("Map not injective: DA %d has two preimages", da)
+		}
+		seen[da] = true
+		inv, ok := l.Inverse(da)
+		if !ok || inv != pa {
+			t.Fatalf("Inverse(Map(%d)) = (%d, %v), want (%d, true)", pa, inv, ok, pa)
+		}
+	}
 }

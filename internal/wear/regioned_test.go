@@ -1,16 +1,19 @@
-package wear
+package wear_test
 
 import (
 	"fmt"
 	"testing"
 	"testing/quick"
 
+	"wlreviver/internal/obs"
 	"wlreviver/internal/stats"
+	"wlreviver/internal/wear"
+	"wlreviver/internal/wear/conformance"
 )
 
-func newTestRegioned(t *testing.T, n, regions, period uint64) *RegionedStartGap {
+func newTestRegioned(t *testing.T, n, regions, period uint64) *wear.RegionedStartGap {
 	t.Helper()
-	s, err := NewRegionedStartGap(RegionedStartGapConfig{
+	s, err := wear.NewRegionedStartGap(wear.RegionedStartGapConfig{
 		NumPAs: n, Regions: regions, GapWritePeriod: period, Seed: 7,
 	})
 	if err != nil {
@@ -20,7 +23,7 @@ func newTestRegioned(t *testing.T, n, regions, period uint64) *RegionedStartGap 
 }
 
 func TestRegionedConfigErrors(t *testing.T) {
-	cases := []RegionedStartGapConfig{
+	cases := []wear.RegionedStartGapConfig{
 		{NumPAs: 0, Regions: 1, GapWritePeriod: 1},
 		{NumPAs: 64, Regions: 0, GapWritePeriod: 1},
 		{NumPAs: 65, Regions: 2, GapWritePeriod: 1}, // not divisible
@@ -28,12 +31,12 @@ func TestRegionedConfigErrors(t *testing.T) {
 		{NumPAs: 64, Regions: 2, GapWritePeriod: 0}, // no period
 	}
 	for i, c := range cases {
-		if _, err := NewRegionedStartGap(c); err == nil {
+		if _, err := wear.NewRegionedStartGap(c); err == nil {
 			t.Errorf("case %d: invalid config accepted: %+v", i, c)
 		}
 	}
-	wrong := Identity{Size: 32}
-	if _, err := NewRegionedStartGap(RegionedStartGapConfig{
+	wrong := wear.Identity{Size: 32}
+	if _, err := wear.NewRegionedStartGap(wear.RegionedStartGapConfig{
 		NumPAs: 64, Regions: 2, GapWritePeriod: 1, Randomizer: wrong,
 	}); err == nil {
 		t.Error("mismatched randomizer accepted")
@@ -55,17 +58,17 @@ func TestRegionedGeometry(t *testing.T) {
 
 func TestRegionedBijectionAndConsistency(t *testing.T) {
 	s := newTestRegioned(t, 64, 4, 1)
-	mem := newShadowMem(s.NumDAs())
-	fillThrough(s, mem)
-	verifyBijection(t, s, "initial")
+	mem := conformance.NewShadowMem(s.NumDAs())
+	conformance.FillThrough(s, mem)
+	conformance.VerifyBijection(t, s, "initial")
 	for step := 0; step < 600; step++ {
-		s.NoteWrite(uint64(step*13)%64, mem.mover())
+		s.NoteWrite(uint64(step*13)%64, mem.Mover())
 		if step%37 == 0 {
-			verifyBijection(t, s, fmt.Sprintf("step %d", step))
-			verifyThrough(t, s, mem, fmt.Sprintf("step %d", step))
+			conformance.VerifyBijection(t, s, fmt.Sprintf("step %d", step))
+			conformance.VerifyThrough(t, s, mem, fmt.Sprintf("step %d", step))
 		}
 	}
-	verifyThrough(t, s, mem, "final")
+	conformance.VerifyThrough(t, s, mem, "final")
 	if s.GapMoves() == 0 {
 		t.Error("no gap ever moved")
 	}
@@ -75,19 +78,19 @@ func TestRegionedBijectionAndConsistency(t *testing.T) {
 // data-preserving bijection.
 func TestQuickRegionedConsistency(t *testing.T) {
 	prop := func(pas []uint16) bool {
-		s, err := NewRegionedStartGap(RegionedStartGapConfig{
+		s, err := wear.NewRegionedStartGap(wear.RegionedStartGapConfig{
 			NumPAs: 32, Regions: 2, GapWritePeriod: 1, Seed: 3,
 		})
 		if err != nil {
 			return false
 		}
-		mem := newShadowMem(s.NumDAs())
-		fillThrough(s, mem)
+		mem := conformance.NewShadowMem(s.NumDAs())
+		conformance.FillThrough(s, mem)
 		for _, p := range pas {
-			s.NoteWrite(uint64(p)%32, mem.mover())
+			s.NoteWrite(uint64(p)%32, mem.Mover())
 		}
 		for pa := uint64(0); pa < 32; pa++ {
-			if mem.data[s.Map(pa)] != tag(pa) {
+			if mem.Data[s.Map(pa)] != conformance.Tag(pa) {
 				return false
 			}
 			if back, ok := s.Inverse(s.Map(pa)); !ok || back != pa {
@@ -101,25 +104,30 @@ func TestQuickRegionedConsistency(t *testing.T) {
 	}
 }
 
+// gapCounter tallies GapMoved events per region through the public
+// observer hook.
+type gapCounter struct {
+	obs.Base
+	moves map[int]int
+}
+
+func (c *gapCounter) GapMoved(region int, gapDA uint64) { c.moves[region]++ }
+
 // Writes confined to one region must only move that region's gap.
 func TestRegionedIndependentPacing(t *testing.T) {
 	s := newTestRegioned(t, 64, 4, 4)
-	mem := newShadowMem(s.NumDAs())
-	fillThrough(s, mem)
+	counter := &gapCounter{moves: make(map[int]int)}
+	s.SetObserver(counter)
+	mem := conformance.NewShadowMem(s.NumDAs())
+	conformance.FillThrough(s, mem)
 	// All writes to PA 5: lands in one fixed region (static randomizer).
 	for i := 0; i < 100; i++ {
-		s.NoteWrite(5, mem.mover())
+		s.NoteWrite(5, mem.Mover())
 	}
-	moved := 0
-	for _, r := range s.regions {
-		if r.GapMoves() > 0 {
-			moved++
-		}
+	if len(counter.moves) != 1 {
+		t.Errorf("%d regions moved their gaps; writes went to one region only", len(counter.moves))
 	}
-	if moved != 1 {
-		t.Errorf("%d regions moved their gaps; writes went to one region only", moved)
-	}
-	verifyThrough(t, s, mem, "after confined writes")
+	conformance.VerifyThrough(t, s, mem, "after confined writes")
 }
 
 // The regioned organisation must still level skewed traffic chip-wide
@@ -128,7 +136,7 @@ func TestRegionedLevelsSkewedWrites(t *testing.T) {
 	const n = 256
 	s := newTestRegioned(t, n, 4, 10)
 	wearCount := make([]uint64, s.NumDAs())
-	mover := FuncMover{MigrateFn: func(src, dst uint64) { wearCount[dst]++ }}
+	mover := wear.FuncMover{MigrateFn: func(src, dst uint64) { wearCount[dst]++ }}
 	for i := 0; i < 200000; i++ {
 		pa := uint64(i) % 8
 		wearCount[s.Map(pa)]++

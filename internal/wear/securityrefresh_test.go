@@ -1,4 +1,4 @@
-package wear
+package wear_test
 
 import (
 	"fmt"
@@ -6,18 +6,20 @@ import (
 	"testing/quick"
 
 	"wlreviver/internal/stats"
+	"wlreviver/internal/wear"
+	"wlreviver/internal/wear/conformance"
 )
 
-func newTestSR(t *testing.T, n uint64, inner uint64) *SecurityRefresh {
+func newTestSR(t *testing.T, n uint64, inner uint64) *wear.SecurityRefresh {
 	t.Helper()
-	cfg := SecurityRefreshConfig{
+	cfg := wear.SecurityRefreshConfig{
 		NumPAs:           n,
 		InnerRegions:     inner,
 		OuterWritePeriod: 2,
 		InnerWritePeriod: 2,
 		Seed:             13,
 	}
-	sr, err := NewSecurityRefresh(cfg)
+	sr, err := wear.NewSecurityRefresh(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +27,7 @@ func newTestSR(t *testing.T, n uint64, inner uint64) *SecurityRefresh {
 }
 
 func TestSecurityRefreshConfigErrors(t *testing.T) {
-	cases := []SecurityRefreshConfig{
+	cases := []wear.SecurityRefreshConfig{
 		{NumPAs: 0, OuterWritePeriod: 1},
 		{NumPAs: 12, OuterWritePeriod: 1},                                        // not power of two
 		{NumPAs: 16, InnerRegions: 3, OuterWritePeriod: 1, InnerWritePeriod: 1},  // inner not pow2
@@ -34,7 +36,7 @@ func TestSecurityRefreshConfigErrors(t *testing.T) {
 		{NumPAs: 16, InnerRegions: 4, OuterWritePeriod: 1, InnerWritePeriod: 0},
 	}
 	for i, c := range cases {
-		if _, err := NewSecurityRefresh(c); err == nil {
+		if _, err := wear.NewSecurityRefresh(c); err == nil {
 			t.Errorf("case %d: invalid config accepted: %+v", i, c)
 		}
 	}
@@ -52,16 +54,16 @@ func TestSecurityRefreshNames(t *testing.T) {
 func TestSecurityRefreshSingleLevelConsistency(t *testing.T) {
 	const n = 64
 	sr := newTestSR(t, n, 1)
-	mem := newShadowMem(sr.NumDAs())
-	fillThrough(sr, mem)
+	mem := conformance.NewShadowMem(sr.NumDAs())
+	conformance.FillThrough(sr, mem)
 	for step := 0; step < 1000; step++ {
-		sr.NoteWrite(uint64(step)%n, mem.mover())
+		sr.NoteWrite(uint64(step)%n, mem.Mover())
 		if step%37 == 0 {
-			verifyBijection(t, sr, fmt.Sprintf("single-level step %d", step))
-			verifyThrough(t, sr, mem, fmt.Sprintf("single-level step %d", step))
+			conformance.VerifyBijection(t, sr, fmt.Sprintf("single-level step %d", step))
+			conformance.VerifyThrough(t, sr, mem, fmt.Sprintf("single-level step %d", step))
 		}
 	}
-	verifyThrough(t, sr, mem, "single-level final")
+	conformance.VerifyThrough(t, sr, mem, "single-level final")
 	if sr.OuterSwaps() == 0 {
 		t.Error("no swaps performed; refresh never progressed")
 	}
@@ -70,35 +72,35 @@ func TestSecurityRefreshSingleLevelConsistency(t *testing.T) {
 func TestSecurityRefreshTwoLevelConsistency(t *testing.T) {
 	const n = 64
 	sr := newTestSR(t, n, 4)
-	mem := newShadowMem(sr.NumDAs())
-	fillThrough(sr, mem)
+	mem := conformance.NewShadowMem(sr.NumDAs())
+	conformance.FillThrough(sr, mem)
 	for step := 0; step < 2000; step++ {
-		sr.NoteWrite(uint64(step*7)%n, mem.mover())
+		sr.NoteWrite(uint64(step*7)%n, mem.Mover())
 		if step%61 == 0 {
-			verifyBijection(t, sr, fmt.Sprintf("two-level step %d", step))
-			verifyThrough(t, sr, mem, fmt.Sprintf("two-level step %d", step))
+			conformance.VerifyBijection(t, sr, fmt.Sprintf("two-level step %d", step))
+			conformance.VerifyThrough(t, sr, mem, fmt.Sprintf("two-level step %d", step))
 		}
 	}
-	verifyThrough(t, sr, mem, "two-level final")
+	conformance.VerifyThrough(t, sr, mem, "two-level final")
 }
 
 // Property: arbitrary write sequences keep the two-level mapping a
 // data-preserving bijection.
 func TestQuickSecurityRefreshConsistency(t *testing.T) {
 	prop := func(pas []uint16) bool {
-		sr, err := NewSecurityRefresh(SecurityRefreshConfig{
+		sr, err := wear.NewSecurityRefresh(wear.SecurityRefreshConfig{
 			NumPAs: 32, InnerRegions: 2, OuterWritePeriod: 1, InnerWritePeriod: 1, Seed: 3,
 		})
 		if err != nil {
 			return false
 		}
-		mem := newShadowMem(sr.NumDAs())
-		fillThrough(sr, mem)
+		mem := conformance.NewShadowMem(sr.NumDAs())
+		conformance.FillThrough(sr, mem)
 		for _, p := range pas {
-			sr.NoteWrite(uint64(p)%32, mem.mover())
+			sr.NoteWrite(uint64(p)%32, mem.Mover())
 		}
 		for pa := uint64(0); pa < 32; pa++ {
-			if mem.data[sr.Map(pa)] != tag(pa) {
+			if mem.Data[sr.Map(pa)] != conformance.Tag(pa) {
 				return false
 			}
 			if back, ok := sr.Inverse(sr.Map(pa)); !ok || back != pa {
@@ -116,12 +118,12 @@ func TestQuickSecurityRefreshConsistency(t *testing.T) {
 func TestSecurityRefreshRelocatesData(t *testing.T) {
 	const n = 64
 	sr := newTestSR(t, n, 1)
-	mem := newShadowMem(sr.NumDAs())
-	fillThrough(sr, mem)
+	mem := conformance.NewShadowMem(sr.NumDAs())
+	conformance.FillThrough(sr, mem)
 	initial := sr.Map(5)
 	visited := map[uint64]bool{initial: true}
 	for i := 0; i < 5000; i++ {
-		sr.NoteWrite(uint64(i)%n, mem.mover())
+		sr.NoteWrite(uint64(i)%n, mem.Mover())
 		visited[sr.Map(5)] = true
 	}
 	if len(visited) < 4 {
@@ -134,14 +136,14 @@ func TestSecurityRefreshLevelsSkewedWrites(t *testing.T) {
 	const n = 256
 	const writes = 300000
 	runCoV := func(level bool) float64 {
-		sr, err := NewSecurityRefresh(SecurityRefreshConfig{
+		sr, err := wear.NewSecurityRefresh(wear.SecurityRefreshConfig{
 			NumPAs: n, OuterWritePeriod: 8, Seed: 21,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		wearCount := make([]uint64, sr.NumDAs())
-		mover := FuncMover{SwapFn: func(a, b uint64) { wearCount[a]++; wearCount[b]++ }}
+		mover := wear.FuncMover{SwapFn: func(a, b uint64) { wearCount[a]++; wearCount[b]++ }}
 		for i := 0; i < writes; i++ {
 			pa := uint64(i) % 4
 			wearCount[sr.Map(pa)]++
@@ -175,13 +177,13 @@ func TestSecurityRefreshPanics(t *testing.T) {
 }
 
 func TestNopAndFuncMovers(t *testing.T) {
-	NopMover{}.Migrate(1, 2) // must not panic
-	NopMover{}.Swap(1, 2)
-	var m FuncMover
+	wear.NopMover{}.Migrate(1, 2) // must not panic
+	wear.NopMover{}.Swap(1, 2)
+	var m wear.FuncMover
 	m.Migrate(1, 2) // nil fns tolerated
 	m.Swap(1, 2)
 	called := 0
-	m = FuncMover{
+	m = wear.FuncMover{
 		MigrateFn: func(a, b uint64) { called++ },
 		SwapFn:    func(a, b uint64) { called++ },
 	}

@@ -1,4 +1,4 @@
-package wear
+package wear_test
 
 import (
 	"fmt"
@@ -6,11 +6,13 @@ import (
 	"testing/quick"
 
 	"wlreviver/internal/stats"
+	"wlreviver/internal/wear"
+	"wlreviver/internal/wear/conformance"
 )
 
-func newTestStartGap(t *testing.T, n, period uint64) *StartGap {
+func newTestStartGap(t *testing.T, n, period uint64) *wear.StartGap {
 	t.Helper()
-	sg, err := NewStartGap(StartGapConfig{NumPAs: n, GapWritePeriod: period, Seed: 5})
+	sg, err := wear.NewStartGap(wear.StartGapConfig{NumPAs: n, GapWritePeriod: period, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,20 +20,20 @@ func newTestStartGap(t *testing.T, n, period uint64) *StartGap {
 }
 
 func TestStartGapConfigErrors(t *testing.T) {
-	if _, err := NewStartGap(StartGapConfig{NumPAs: 0, GapWritePeriod: 10}); err == nil {
+	if _, err := wear.NewStartGap(wear.StartGapConfig{NumPAs: 0, GapWritePeriod: 10}); err == nil {
 		t.Error("zero PAs accepted")
 	}
-	if _, err := NewStartGap(StartGapConfig{NumPAs: 8, GapWritePeriod: 0}); err == nil {
+	if _, err := wear.NewStartGap(wear.StartGapConfig{NumPAs: 8, GapWritePeriod: 0}); err == nil {
 		t.Error("zero period accepted")
 	}
-	wrong := Identity{Size: 4}
-	if _, err := NewStartGap(StartGapConfig{NumPAs: 8, GapWritePeriod: 1, Randomizer: wrong}); err == nil {
+	wrong := wear.Identity{Size: 4}
+	if _, err := wear.NewStartGap(wear.StartGapConfig{NumPAs: 8, GapWritePeriod: 1, Randomizer: wrong}); err == nil {
 		t.Error("mismatched randomizer domain accepted")
 	}
 }
 
 func TestStartGapInitialMapping(t *testing.T) {
-	sg, err := NewStartGap(StartGapConfig{NumPAs: 8, GapWritePeriod: 1, Randomizer: Identity{Size: 8}})
+	sg, err := wear.NewStartGap(wear.StartGapConfig{NumPAs: 8, GapWritePeriod: 1, Randomizer: wear.Identity{Size: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,14 +54,14 @@ func TestStartGapInitialMapping(t *testing.T) {
 func TestStartGapBijectionUnderGapMoves(t *testing.T) {
 	const n = 64
 	sg := newTestStartGap(t, n, 1)
-	mem := newShadowMem(sg.NumDAs())
-	fillThrough(sg, mem)
-	mover := mem.mover()
+	mem := conformance.NewShadowMem(sg.NumDAs())
+	conformance.FillThrough(sg, mem)
+	mover := mem.Mover()
 	// Drive through several full rotations (a rotation is n+1 gap moves).
 	for step := 0; step < 3*(n+1)+7; step++ {
 		sg.ForceGapMove(mover)
-		verifyBijection(t, sg, fmt.Sprintf("after %d gap moves", step+1))
-		verifyThrough(t, sg, mem, fmt.Sprintf("after %d gap moves", step+1))
+		conformance.VerifyBijection(t, sg, fmt.Sprintf("after %d gap moves", step+1))
+		conformance.VerifyThrough(t, sg, mem, fmt.Sprintf("after %d gap moves", step+1))
 	}
 	if sg.GapMoves() != 3*(n+1)+7 {
 		t.Errorf("gap moves = %d", sg.GapMoves())
@@ -69,13 +71,13 @@ func TestStartGapBijectionUnderGapMoves(t *testing.T) {
 func TestStartGapStartAdvancesOnWrap(t *testing.T) {
 	const n = 16
 	sg := newTestStartGap(t, n, 1)
-	mem := newShadowMem(sg.NumDAs())
-	fillThrough(sg, mem)
+	mem := conformance.NewShadowMem(sg.NumDAs())
+	conformance.FillThrough(sg, mem)
 	if sg.Start() != 0 {
 		t.Fatal("start should begin at 0")
 	}
 	for i := uint64(0); i < n+1; i++ {
-		sg.ForceGapMove(mem.mover())
+		sg.ForceGapMove(mem.Mover())
 	}
 	if sg.Start() != 1 {
 		t.Errorf("start = %d after one full rotation, want 1", sg.Start())
@@ -87,25 +89,25 @@ func TestStartGapStartAdvancesOnWrap(t *testing.T) {
 
 func TestStartGapNoteWritePacing(t *testing.T) {
 	sg := newTestStartGap(t, 32, 100)
-	mem := newShadowMem(sg.NumDAs())
-	fillThrough(sg, mem)
+	mem := conformance.NewShadowMem(sg.NumDAs())
+	conformance.FillThrough(sg, mem)
 	for i := 0; i < 99; i++ {
-		sg.NoteWrite(0, mem.mover())
+		sg.NoteWrite(0, mem.Mover())
 	}
 	if sg.GapMoves() != 0 {
 		t.Fatalf("gap moved before ψ writes")
 	}
-	sg.NoteWrite(0, mem.mover())
+	sg.NoteWrite(0, mem.Mover())
 	if sg.GapMoves() != 1 {
 		t.Fatalf("gap did not move at ψ-th write")
 	}
 	for i := 0; i < 100; i++ {
-		sg.NoteWrite(0, mem.mover())
+		sg.NoteWrite(0, mem.Mover())
 	}
 	if sg.GapMoves() != 2 {
 		t.Fatalf("gap moves = %d after 200 writes, want 2", sg.GapMoves())
 	}
-	verifyThrough(t, sg, mem, "after paced writes")
+	conformance.VerifyThrough(t, sg, mem, "after paced writes")
 }
 
 // Every block of data visits every device address over N*(N+1) gap moves
@@ -114,38 +116,38 @@ func TestStartGapNoteWritePacing(t *testing.T) {
 func TestStartGapDataVisitsManyDAs(t *testing.T) {
 	const n = 32
 	sg := newTestStartGap(t, n, 1)
-	mem := newShadowMem(sg.NumDAs())
-	fillThrough(sg, mem)
+	mem := conformance.NewShadowMem(sg.NumDAs())
+	conformance.FillThrough(sg, mem)
 	visited := make(map[uint64]bool)
 	for i := 0; i < n*(n+1); i++ {
 		visited[sg.Map(7)] = true
-		sg.ForceGapMove(mem.mover())
+		sg.ForceGapMove(mem.Mover())
 	}
 	if len(visited) != int(n+1) {
 		t.Errorf("PA 7 visited %d distinct DAs over a full cycle, want %d", len(visited), n+1)
 	}
-	verifyThrough(t, sg, mem, "after full cycle")
+	conformance.VerifyThrough(t, sg, mem, "after full cycle")
 }
 
 // Property: for arbitrary interleavings of writes and forced moves, the
 // mapping stays consistent.
 func TestQuickStartGapConsistency(t *testing.T) {
 	prop := func(ops []bool) bool {
-		sg, err := NewStartGap(StartGapConfig{NumPAs: 24, GapWritePeriod: 3, Seed: 11})
+		sg, err := wear.NewStartGap(wear.StartGapConfig{NumPAs: 24, GapWritePeriod: 3, Seed: 11})
 		if err != nil {
 			return false
 		}
-		mem := newShadowMem(sg.NumDAs())
-		fillThrough(sg, mem)
+		mem := conformance.NewShadowMem(sg.NumDAs())
+		conformance.FillThrough(sg, mem)
 		for _, forced := range ops {
 			if forced {
-				sg.ForceGapMove(mem.mover())
+				sg.ForceGapMove(mem.Mover())
 			} else {
-				sg.NoteWrite(0, mem.mover())
+				sg.NoteWrite(0, mem.Mover())
 			}
 		}
 		for pa := uint64(0); pa < sg.NumPAs(); pa++ {
-			if mem.data[sg.Map(pa)] != tag(pa) {
+			if mem.Data[sg.Map(pa)] != conformance.Tag(pa) {
 				return false
 			}
 			if back, ok := sg.Inverse(sg.Map(pa)); !ok || back != pa {
@@ -167,7 +169,7 @@ func TestStartGapLevelsSkewedWrites(t *testing.T) {
 	runCoV := func(level bool) float64 {
 		sg := newTestStartGap(t, n, 10)
 		wearCount := make([]uint64, sg.NumDAs())
-		mover := FuncMover{MigrateFn: func(src, dst uint64) { wearCount[dst]++ }}
+		mover := wear.FuncMover{MigrateFn: func(src, dst uint64) { wearCount[dst]++ }}
 		for i := 0; i < writes; i++ {
 			pa := uint64(i) % 8 // hammer 8 hot addresses
 			wearCount[sg.Map(pa)]++

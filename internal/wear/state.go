@@ -109,6 +109,114 @@ func (r *srRegion) loadState(dec *ckpt.Decoder) error {
 	return nil
 }
 
+// saveState serializes one decoder region: the pacing counters, the RNG
+// stream position, and the forward permutation. The inverse is derived
+// and rebuilt on load.
+func (r *wfrRegion) saveState(e *ckpt.Encoder) {
+	e.U64(r.writes)
+	e.U64(r.swaps)
+	st := r.src.State()
+	for _, w := range st {
+		e.U64(w)
+	}
+	e.U32s(r.perm)
+}
+
+// loadState restores a region written by saveState, validating the
+// permutation and rebuilding the inverse from it.
+func (r *wfrRegion) loadState(dec *ckpt.Decoder) error {
+	writes := dec.U64()
+	swaps := dec.U64()
+	var st [4]uint64
+	for i := range st {
+		st[i] = dec.U64()
+	}
+	perm := dec.U32s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if uint64(len(perm)) != r.size {
+		return fmt.Errorf("wear: wolfram checkpoint region has %d entries, region has %d", len(perm), r.size)
+	}
+	seen := make([]bool, r.size)
+	for _, p := range perm {
+		if uint64(p) >= r.size || seen[p] {
+			return fmt.Errorf("wear: wolfram checkpoint decoder is not a permutation")
+		}
+		seen[p] = true
+	}
+	r.writes = writes
+	r.swaps = swaps
+	r.src.SetState(st)
+	copy(r.perm, perm)
+	for i, p := range r.perm {
+		r.inv[p] = uint32(i)
+	}
+	return nil
+}
+
+// SaveState serializes WoLFRaM: every decoder region in index order.
+func (w *WoLFRaM) SaveState(e *ckpt.Encoder) {
+	e.U32(uint32(len(w.regions)))
+	for _, r := range w.regions {
+		r.saveState(e)
+	}
+}
+
+// LoadState restores state written by SaveState into a scheme built from
+// the identical configuration.
+func (w *WoLFRaM) LoadState(dec *ckpt.Decoder) error {
+	n := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(w.regions) {
+		return fmt.Errorf("wear: checkpoint has %d decoder regions, scheme has %d", n, len(w.regions))
+	}
+	for _, r := range w.regions {
+		if err := r.loadState(dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveState serializes SoftWear: the page table, the per-page epoch
+// counters, the per-frame wear estimates and the pacing registers.
+func (s *SoftWear) SaveState(e *ckpt.Encoder) {
+	s.pt.SaveState(e)
+	e.U32s(s.counts)
+	e.U64s(s.est)
+	e.U64(s.epochW)
+	e.U64(s.relocs)
+}
+
+// LoadState restores state written by SaveState into a scheme built from
+// the identical configuration.
+func (s *SoftWear) LoadState(dec *ckpt.Decoder) error {
+	if err := s.pt.LoadState(dec); err != nil {
+		return err
+	}
+	counts := dec.U32s()
+	est := dec.U64s()
+	epochW := dec.U64()
+	relocs := dec.U64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(counts) != len(s.counts) || len(est) != len(s.est) {
+		return fmt.Errorf("wear: softwear checkpoint page count mismatch")
+	}
+	if epochW >= s.period {
+		return fmt.Errorf("wear: softwear checkpoint registers out of range")
+	}
+	copy(s.counts, counts)
+	copy(s.est, est)
+	s.epochW = epochW
+	s.relocs = relocs
+	return nil
+}
+
 // SaveState serializes Security Refresh: the outer region, every inner
 // region in index order, and the write pacing counters.
 func (s *SecurityRefresh) SaveState(e *ckpt.Encoder) {

@@ -7,7 +7,7 @@ import (
 )
 
 func TestExperimentRegistry(t *testing.T) {
-	wantOrder := []string{"table1", "fig5", "fig6", "fig7", "fig8", "table2", "attacks"}
+	wantOrder := []string{"table1", "fig5", "fig6", "fig7", "fig8", "table2", "wolfram", "softwear", "attacks"}
 	if got := ExperimentNames(); !reflect.DeepEqual(got, wantOrder) {
 		t.Fatalf("ExperimentNames() = %v, want %v", got, wantOrder)
 	}

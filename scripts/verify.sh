@@ -39,7 +39,7 @@ go build ./examples/...
 # The test pass doubles as the coverage gate: the profile feeds a
 # ratchet floor (raise COVER_MIN when coverage rises; never lower it)
 # and coverage.html, which CI publishes as an artifact.
-COVER_MIN=65.0
+COVER_MIN=67.8
 echo "== go test -coverprofile=coverage.out ./..."
 go test -coverprofile=coverage.out ./...
 total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
